@@ -1,0 +1,42 @@
+"""E11 — the §5.1 mechanism ablations.
+
+(a) Naive quorum Verify vs Algorithm 1 under flip-flop collusion: the
+naive strategy violates relay; the paper's set0/set1 machinery does not.
+(b) Verify with the set0 reset disabled: the Lemma 37(3) liveness
+mechanism — without it, a staged race leaves Verify waiting forever on a
+silent Byzantine writer.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis import ablation_naive_quorum, ablation_set0_reset
+
+
+def run_e11a():
+    return ablation_naive_quorum(seed=0)
+
+
+def run_e11b():
+    return ablation_set0_reset()
+
+
+def test_e11a_naive_quorum_relay(benchmark):
+    headers, rows = benchmark.pedantic(run_e11a, rounds=1, iterations=1)
+    emit("E11a_naive_quorum", headers, rows, "E11a — naive quorum Verify vs Algorithm 1")
+    strategy_col = headers.index("verify strategy")
+    relay_col = headers.index("relay holds")
+    by_strategy = {row[strategy_col]: row[relay_col] for row in rows}
+    assert by_strategy["naive-quorum"] is False, "naive Verify unexpectedly survived"
+    assert by_strategy["verifiable"] is True, "Algorithm 1 broke under the attack"
+
+
+def test_e11b_set0_reset_liveness(benchmark):
+    headers, rows = benchmark.pedantic(run_e11b, rounds=1, iterations=1)
+    emit("E11b_set0_reset", headers, rows, "E11b — set0-reset liveness ablation")
+    variant_col = headers.index("variant")
+    term_col = headers.index("verify terminates")
+    by_variant = {row[variant_col]: row[term_col] for row in rows}
+    assert by_variant["with set0 reset (paper)"] is True
+    assert by_variant["without reset (ablated)"] is False

@@ -1,0 +1,27 @@
+"""E12 — the §9.1 sticky-write ablation.
+
+The paper explains that Algorithm 3's Write must wait for ``n - f``
+witnesses: without the wait, a Read invoked *after a completed Write*
+can return ⊥ — a validity (Obs 22) violation. This bench stages the
+race and confirms both halves.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis import ablation_sticky_write_wait
+
+
+def run_e12():
+    return ablation_sticky_write_wait()
+
+
+def test_e12_sticky_write_wait(benchmark):
+    headers, rows = benchmark.pedantic(run_e12, rounds=1, iterations=1)
+    emit("E12_sticky_write_wait", headers, rows, "E12 — sticky Write witness-wait ablation")
+    variant_col = headers.index("variant")
+    validity_col = headers.index("validity (Obs 22) holds")
+    by_variant = {row[variant_col]: row[validity_col] for row in rows}
+    assert by_variant["with n-f wait (paper)"] is True
+    assert by_variant["without wait (ablated)"] is False

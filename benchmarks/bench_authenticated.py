@@ -1,0 +1,27 @@
+"""E2 — Theorem 20: the authenticated register (Algorithm 2) is correct.
+
+Same sweep shape as E1, including the Read-calls-Verify path and the
+Byzantine-writer erasure adversary of Section 7.1.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis import correctness_sweep
+
+
+def run_e2():
+    return correctness_sweep("authenticated", ns=(4, 7, 10), seeds=(0, 1))
+
+
+def test_e2_authenticated_register_sweep(benchmark):
+    headers, rows = benchmark.pedantic(run_e2, rounds=1, iterations=1)
+    emit(
+        "E2_authenticated", headers, rows,
+        "E2 — authenticated register (Theorem 20)",
+    )
+    assert rows
+    correct_column = headers.index("correct")
+    for row in rows:
+        assert row[correct_column] is True, f"violation in row: {row}"

@@ -1,0 +1,32 @@
+"""E5 — Theorem 29 / Figure 1: impossibility at n = 3f, possibility at 3f+1.
+
+Regenerates the paper's only figure as an executable table: for each f,
+the H1/H2/H3 histories against the quorum candidate at both threshold
+choices (each must break a Lemma 28 property, with pb's views of H2 and
+H3 indistinguishable), plus the n = 3f + 1 control where the attack
+collapses.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis import impossibility_table
+
+
+def run_e5():
+    return impossibility_table(fs=(1, 2, 3))
+
+
+def test_e5_figure1_impossibility(benchmark):
+    headers, rows = benchmark.pedantic(run_e5, rounds=1, iterations=1)
+    emit("E5_impossibility", headers, rows, "E5 — Theorem 29 / Figure 1")
+    violated_column = headers.index("violated")
+    n_column = headers.index("n")
+    f_column = headers.index("f")
+    for row in rows:
+        at_bound = row[n_column] == 3 * row[f_column]
+        if at_bound:
+            assert row[violated_column] != "nothing", f"no violation at bound: {row}"
+        else:
+            assert row[violated_column] == "nothing", f"control violated: {row}"

@@ -1,0 +1,55 @@
+"""E4 — Observations 11–24 at scale: property-checker throughput.
+
+Generates a pool of randomized histories once, then benchmarks the
+observable-property verdicts over the pool — the fast checking path that
+makes thousand-run sweeps feasible (DESIGN.md §3 "two verdicts").
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis import checker_for, run_register_scenario
+
+
+def build_pool():
+    pool = []
+    for kind in ("verifiable", "authenticated", "sticky"):
+        for seed in range(4):
+            outcome = run_register_scenario(kind, n=4, seed=seed)
+            pool.append((kind, outcome))
+    return pool
+
+
+def check_pool(pool):
+    rows = []
+    for kind, outcome in pool:
+        check_properties, _ = checker_for(kind)
+        if kind == "sticky":
+            report = check_properties(
+                outcome.system.history, outcome.system.correct, "reg", writer=1
+            )
+        else:
+            report = check_properties(
+                outcome.system.history,
+                outcome.system.correct,
+                "reg",
+                writer=1,
+                initial=0,
+            )
+        rows.append(
+            (kind, outcome.seed, len(outcome.system.history), report.ok)
+        )
+    return rows
+
+
+def test_e4_property_checkers(benchmark):
+    pool = build_pool()
+    rows = benchmark(check_pool, pool)
+    emit(
+        "E4_properties",
+        ("kind", "seed", "operations", "properties hold"),
+        rows,
+        "E4 — observable-property verdicts (Obs 11-24)",
+    )
+    assert all(row[3] for row in rows)

@@ -1,0 +1,47 @@
+"""E10 — step-complexity profile: the price of removing signatures.
+
+Mean operation latency (virtual steps) per register kind and system
+size. Expected shape (recorded in EXPERIMENTS.md): the signature
+baseline's Verify is flat-ish O(n) reads; Algorithm 1's Verify pays the
+witness rounds and grows faster with n; the sticky register's blocking
+Write is its most expensive operation. Absolute numbers are
+simulator-relative by design.
+"""
+
+from __future__ import annotations
+
+import statistics
+from conftest import emit
+
+from repro.analysis import step_complexity_table
+
+
+def run_e10():
+    return step_complexity_table(ns=(4, 7, 10), seeds=(0, 1))
+
+
+def test_e10_step_complexity(benchmark):
+    headers, rows = benchmark.pedantic(run_e10, rounds=1, iterations=1)
+    emit("E10_step_complexity", headers, rows, "E10 — operation step complexity")
+    kind_col = headers.index("kind")
+    n_col = headers.index("n")
+    op_col = headers.index("operation")
+    mean_col = headers.index("mean steps")
+
+    def mean_of(kind, op, n):
+        values = [
+            r[mean_col] for r in rows
+            if r[kind_col] == kind and r[op_col] == op and r[n_col] == n
+        ]
+        return statistics.mean(values) if values else None
+
+    # Shape check: the signature-free Verify costs more than the
+    # signature-based one at every measured n (the paper's trade).
+    for n in (4, 7, 10):
+        free = mean_of("verifiable", "verify", n)
+        signed = mean_of("signed", "verify", n)
+        assert free is not None and signed is not None
+        assert free > signed, (n, free, signed)
+
+    # Shape check: Algorithm 1's Verify grows with n.
+    assert mean_of("verifiable", "verify", 10) > mean_of("verifiable", "verify", 4)

@@ -1,0 +1,24 @@
+"""E3 — Theorem 25: the sticky register (Algorithm 3) is correct.
+
+Sweep includes the equivocating-writer attack — the uniqueness property
+under the adversary the register exists to defeat.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis import correctness_sweep
+
+
+def run_e3():
+    return correctness_sweep("sticky", ns=(4, 7, 10), seeds=(0, 1))
+
+
+def test_e3_sticky_register_sweep(benchmark):
+    headers, rows = benchmark.pedantic(run_e3, rounds=1, iterations=1)
+    emit("E3_sticky", headers, rows, "E3 — sticky register (Theorem 25)")
+    assert rows
+    correct_column = headers.index("correct")
+    for row in rows:
+        assert row[correct_column] is True, f"violation in row: {row}"

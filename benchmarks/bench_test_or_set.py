@@ -1,0 +1,23 @@
+"""E6 — Observation 30: test-or-set from each of the three registers.
+
+All three constructions, with correct and Byzantine-silent setters; the
+mean Test latency column shows the relative cost of the three mappings
+(Verify-based vs Read-based).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis import test_or_set_table
+
+
+def run_e6():
+    return test_or_set_table(n=4, seeds=(0, 1))
+
+
+def test_e6_test_or_set(benchmark):
+    headers, rows = benchmark.pedantic(run_e6, rounds=1, iterations=1)
+    emit("E6_test_or_set", headers, rows, "E6 — test-or-set (Observation 30)")
+    correct_column = headers.index("correct")
+    assert all(row[correct_column] for row in rows)

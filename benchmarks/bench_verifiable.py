@@ -1,0 +1,29 @@
+"""E1 — Theorem 14: the verifiable register (Algorithm 1) is correct.
+
+Randomized histories across system sizes and the full adversary mix;
+every run must pass the observable-property checks and Byzantine
+linearizability. The benchmark measures the harness wall-clock (the
+paper has no machine numbers to match; see EXPERIMENTS.md E1).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis import correctness_sweep
+
+
+def run_e1():
+    headers, rows = correctness_sweep(
+        "verifiable", ns=(4, 7, 10), seeds=(0, 1)
+    )
+    return headers, rows
+
+
+def test_e1_verifiable_register_sweep(benchmark):
+    headers, rows = benchmark.pedantic(run_e1, rounds=1, iterations=1)
+    emit("E1_verifiable", headers, rows, "E1 — verifiable register (Theorem 14)")
+    assert rows, "sweep produced no configurations"
+    correct_column = headers.index("correct")
+    for row in rows:
+        assert row[correct_column] is True, f"violation in row: {row}"

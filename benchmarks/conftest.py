@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one experiment of DESIGN.md §2 (and
+one row block of EXPERIMENTS.md): it *runs* the experiment driver under
+pytest-benchmark (wall-clock of the simulation harness), *asserts* the
+expected qualitative shape, and *prints* the result table.
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+tables inline (they are also written to ``benchmarks/_results/``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "_results"
+
+
+def save_table(name: str, rendered: str) -> None:
+    """Persist a rendered experiment table under benchmarks/_results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(rendered + "\n", encoding="utf-8")
+
+
+def emit(name: str, headers, rows, title: str) -> str:
+    """Render, print, and persist an experiment table."""
+    from repro.analysis import render_table
+
+    rendered = render_table(headers, rows, title=title)
+    print()
+    print(rendered)
+    save_table(name, rendered)
+    return rendered

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Algorithm 1 running, unchanged, over a message-passing system.
+
+The paper's closing remark: since SWMR registers can be emulated in
+message-passing systems with n > 3f without signatures [11], the three
+register constructions carry over verbatim. This example runs the
+*exact* Algorithm 1 generators over the quorum-replication emulation of
+``repro.mp`` — every shared-register access becomes a round of WRITE /
+ACK / ECHO / READ / VALUE messages — with one Byzantine-silent replica.
+
+Run:  python examples/message_passing_registers.py
+"""
+
+from __future__ import annotations
+
+from repro import VerifiableRegister
+from repro.mp import (
+    RandomDelayNetwork,
+    RegisterEmulation,
+    declare_registers,
+    translate,
+    translated_help,
+)
+from repro.sim import FunctionClient, System
+from repro.sim.process import idle_forever
+
+
+def main() -> None:
+    system = System(n=4, f=1)
+    system.network = RandomDelayNetwork(seed=42, max_delay=6)
+    emulation = RegisterEmulation(system)
+
+    # The same register object as in shared memory — but instead of
+    # installing its registers into shared memory, declare them as
+    # emulated registers backed by replicated message-passing state.
+    register = VerifiableRegister(system, "vreg", initial=0)
+    declare_registers(emulation, register)
+
+    # p4 is Byzantine: it never participates in the replication protocol.
+    system.declare_byzantine(4)
+    for pid in (1, 2, 3):
+        system.spawn(pid, "replica", emulation.replica_program(pid))
+        system.spawn(pid, "help", translated_help(emulation, register, pid))
+    system.spawn(4, "replica", idle_forever())
+
+    def writer():
+        yield from translate(emulation, 1, register.op(1, "write", "ledger-entry-17"))
+        result = yield from translate(emulation, 1, register.op(1, "sign", "ledger-entry-17"))
+        return result
+
+    w = FunctionClient(writer)
+    system.spawn(1, "client", w.program())
+    system.run_until(lambda: w.done, 4_000_000)
+    print(f"writer: Write + Sign over messages -> {w.result!r}")
+    print(f"  virtual steps so far: {system.clock}")
+    print(f"  messages sent so far: {system.metrics.messages_sent}")
+
+    def reader():
+        value = yield from translate(emulation, 2, register.op(2, "read"))
+        good = yield from translate(
+            emulation, 2, register.op(2, "verify", "ledger-entry-17")
+        )
+        bad = yield from translate(emulation, 2, register.op(2, "verify", "forged"))
+        return value, good, bad
+
+    r = FunctionClient(reader)
+    system.spawn(2, "client", r.program())
+    system.run_until(lambda: r.done, 8_000_000)
+    value, good, bad = r.result
+    print(f"reader: Read -> {value!r}")
+    print(f"reader: Verify('ledger-entry-17') -> {good}")
+    print(f"reader: Verify('forged') -> {bad}")
+    print(f"total virtual steps: {system.clock}; "
+          f"messages: {system.metrics.messages_sent}")
+
+    assert value == "ledger-entry-17" and good is True and bad is False
+    print("\nSame algorithm, different substrate — the layering works.")
+
+
+if __name__ == "__main__":
+    main()

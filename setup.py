@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 660 editable installs (which must build a wheel) fail. Keeping a
+``setup.py`` lets ``pip install -e .`` fall back to the classic
+``setup.py develop`` path, which only needs setuptools.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Byzantine-tolerant SWMR registers with signature properties, "
+        "without signatures (Hu & Toueg, PODC 2025)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

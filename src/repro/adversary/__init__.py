@@ -1,0 +1,43 @@
+"""Byzantine behaviours and the executable impossibility construction."""
+
+from repro.adversary.behaviors import (
+    crash_after,
+    denying_writer_authenticated,
+    denying_writer_verifiable,
+    equivocating_writer_sticky,
+    equivocating_writer_verifiable,
+    flip_flop_witness,
+    garbage_spammer,
+    lying_witness,
+    owned_register_names,
+    silent,
+    sticky_lying_witness,
+    stonewalling_witness,
+)
+from repro.adversary.theorem29 import (
+    Figure1Outcome,
+    Roles,
+    run_figure1,
+    run_h2,
+    run_h3,
+)
+
+__all__ = [
+    "Figure1Outcome",
+    "Roles",
+    "crash_after",
+    "denying_writer_authenticated",
+    "denying_writer_verifiable",
+    "equivocating_writer_sticky",
+    "equivocating_writer_verifiable",
+    "flip_flop_witness",
+    "garbage_spammer",
+    "lying_witness",
+    "owned_register_names",
+    "run_figure1",
+    "run_h2",
+    "run_h3",
+    "silent",
+    "sticky_lying_witness",
+    "stonewalling_witness",
+]

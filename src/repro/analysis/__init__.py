@@ -1,0 +1,62 @@
+"""Experiment harness: workloads, scenarios, metrics, tables, drivers."""
+
+from repro.analysis.experiments import (
+    ablation_naive_quorum,
+    ablation_set0_reset,
+    ablation_sticky_write_wait,
+    broadcast_table,
+    correctness_sweep,
+    impossibility_table,
+    message_passing_table,
+    snapshot_table,
+    step_complexity_table,
+    test_or_set_table,
+)
+from repro.analysis.metrics import (
+    LatencyStats,
+    latency_table,
+    merge_latency_samples,
+    operation_latencies,
+    register_access_totals,
+)
+from repro.analysis.reporting import print_table, render_table
+from repro.analysis.workloads import (
+    READER_ADVERSARIES,
+    REGISTER_KINDS,
+    WRITER_ADVERSARIES,
+    ScenarioOutcome,
+    Workload,
+    checker_for,
+    make_register,
+    random_register_workload,
+    run_register_scenario,
+)
+
+__all__ = [
+    "LatencyStats",
+    "READER_ADVERSARIES",
+    "REGISTER_KINDS",
+    "ScenarioOutcome",
+    "WRITER_ADVERSARIES",
+    "Workload",
+    "ablation_naive_quorum",
+    "ablation_set0_reset",
+    "ablation_sticky_write_wait",
+    "broadcast_table",
+    "checker_for",
+    "correctness_sweep",
+    "impossibility_table",
+    "latency_table",
+    "make_register",
+    "merge_latency_samples",
+    "message_passing_table",
+    "operation_latencies",
+    "print_table",
+    "random_register_workload",
+    "register_access_totals",
+    "render_table",
+    "run_register_scenario",
+    "snapshot_table",
+    "step_complexity_table",
+    "test_or_set_table",
+]

@@ -1,0 +1,873 @@
+"""Experiment drivers E1–E11 (see DESIGN.md §2 and EXPERIMENTS.md).
+
+Each ``exp_*`` function runs one experiment of the reproduction plan and
+returns ``(headers, rows)`` ready for ``reporting.render_table``. The
+benchmark files under ``benchmarks/`` wrap these drivers with
+pytest-benchmark so the same code both *validates* (assertions inside)
+and *measures* (wall-clock of the simulation harness).
+
+The drivers are deliberately deterministic: seeds are fixed parameters,
+so the tables in EXPERIMENTS.md regenerate bit-identically.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.adversary import behaviors, run_figure1
+from repro.analysis.metrics import (
+    LatencyStats,
+    latency_table,
+    merge_latency_samples,
+    operation_latencies,
+)
+from repro.analysis.workloads import (
+    REGISTER_KINDS,
+    ScenarioOutcome,
+    run_register_scenario,
+)
+from repro.apps import (
+    AtomicSnapshot,
+    NonEquivocatingBroadcast,
+    ReliableBroadcast,
+    SignedReliableBroadcast,
+)
+from repro.core import (
+    AuthenticatedRegister,
+    NaiveQuorumVerifiableRegister,
+    QuorumTestOrSet,
+    StickyRegister,
+    TestOrSetFromAuthenticated,
+    TestOrSetFromSticky,
+    TestOrSetFromVerifiable,
+    VerifiableRegister,
+)
+from repro.errors import StepLimitExceeded
+from repro.mp import (
+    AuthenticatedBroadcast,
+    RandomDelayNetwork,
+    RegisterEmulation,
+    declare_registers,
+    translate,
+    translated_help,
+)
+from repro.sim import (
+    FunctionClient,
+    OpCall,
+    PriorityScheduler,
+    RandomScheduler,
+    ScriptClient,
+    System,
+    WriteRegister,
+)
+from repro.sim.process import pause_steps
+from repro.spec import (
+    check_test_or_set,
+    check_test_or_set_properties,
+)
+
+Headers = Sequence[str]
+Rows = List[Sequence[Any]]
+
+
+# ----------------------------------------------------------------------
+# E1–E3: correctness sweeps for Algorithms 1–3 (Theorems 14, 20, 25)
+# ----------------------------------------------------------------------
+#: The adversary mixes each sweep cycles through, per register kind.
+SWEEP_ADVERSARIES: Dict[str, List[Tuple[str, Dict[int, str]]]] = {
+    "verifiable": [
+        ("none", {}),
+        ("deny", {}),
+        ("equivocate", {}),
+        ("none", {2: "lying"}),
+        ("none", {3: "flipflop"}),
+        ("garbage", {2: "garbage"}),
+    ],
+    "authenticated": [
+        ("none", {}),
+        ("deny", {}),
+        ("none", {2: "lying"}),
+        ("none", {3: "stonewall"}),
+        ("garbage", {2: "garbage"}),
+    ],
+    "sticky": [
+        ("none", {}),
+        ("equivocate", {}),
+        ("none", {2: "lying"}),
+        ("silent", {}),
+        ("garbage", {2: "garbage"}),
+    ],
+}
+
+
+def correctness_sweep(
+    kind: str,
+    ns: Sequence[int] = (4, 7, 10),
+    seeds: Sequence[int] = (0, 1, 2),
+) -> Tuple[Headers, Rows]:
+    """Randomized histories across n, seeds, and adversary mixes.
+
+    For each configuration: run a seeded scenario, check the observable
+    properties (Obs 11–24) and full Byzantine linearizability, and
+    report pass/fail plus the mean verify/read latency of correct
+    processes. Any failure row carries the replay coordinates.
+    """
+    rows: Rows = []
+    for n in ns:
+        f = (n - 1) // 3
+        for adv_writer, adv_readers in SWEEP_ADVERSARIES[kind]:
+            # Byzantine reader pids must exist and the total must fit f.
+            readers = {
+                pid: name for pid, name in adv_readers.items() if pid <= n
+            }
+            byz_count = len(readers) + (1 if adv_writer != "none" else 0)
+            if byz_count > f:
+                continue
+            results: List[ScenarioOutcome] = []
+            for seed in seeds:
+                outcome = run_register_scenario(
+                    kind,
+                    n=n,
+                    seed=seed,
+                    writer_adversary=adv_writer,
+                    reader_adversaries=readers,
+                )
+                results.append(outcome)
+            all_ok = all(r.ok for r in results)
+            pooled = merge_latency_samples(
+                operation_latencies(
+                    r.system.history, obj="reg", pids=r.system.correct
+                )
+                for r in results
+            )
+            probe_op = "read" if kind == "sticky" else "verify"
+            probe = pooled.get(probe_op, [])
+            rows.append(
+                (
+                    n,
+                    f,
+                    results[0].adversary,
+                    len(results),
+                    all_ok,
+                    round(statistics.mean(probe), 1) if probe else "-",
+                    max(probe) if probe else "-",
+                    "" if all_ok else next(
+                        r.coordinates() for r in results if not r.ok
+                    ),
+                )
+            )
+    headers = (
+        "n",
+        "f",
+        "adversary",
+        "runs",
+        "correct",
+        f"mean {'read' if kind == 'sticky' else 'verify'} steps",
+        "max",
+        "failure",
+    )
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# E5: Theorem 29 / Figure 1
+# ----------------------------------------------------------------------
+def impossibility_table(
+    fs: Sequence[int] = (1, 2, 3),
+) -> Tuple[Headers, Rows]:
+    """The Figure 1 histories vs the quorum candidate, n = 3f and 3f + 1.
+
+    At ``n = 3f`` both threshold choices are attacked (the default
+    ``n - f`` and the lowered ``f``); each must break one Lemma 28
+    property. At ``n = 3f + 1`` the default threshold must survive.
+    """
+    rows: Rows = []
+    for f in fs:
+        strict = run_figure1(f=f)
+        rows.append(
+            (
+                3 * f,
+                f,
+                strict.accept_threshold,
+                strict.h1_test_result,
+                strict.h2_test_result,
+                strict.h3_test_result,
+                strict.indistinguishable,
+                strict.violated or "nothing",
+            )
+        )
+        lowered = run_figure1(f=f, accept_threshold=f)
+        rows.append(
+            (
+                3 * f,
+                f,
+                lowered.accept_threshold,
+                lowered.h1_test_result,
+                lowered.h2_test_result,
+                lowered.h3_test_result,
+                lowered.indistinguishable,
+                lowered.violated or "nothing",
+            )
+        )
+        control = run_figure1(f=f, extra_correct=True)
+        rows.append(
+            (
+                3 * f + 1,
+                f,
+                control.accept_threshold,
+                control.h1_test_result,
+                control.h2_test_result,
+                control.h3_test_result,
+                control.indistinguishable,
+                control.violated or "nothing",
+            )
+        )
+    headers = (
+        "n",
+        "f",
+        "accept τ",
+        "H1 Test",
+        "H2 Test'",
+        "H3 Test'",
+        "pb views equal",
+        "violated",
+    )
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# E6: test-or-set from each register (Observation 30)
+# ----------------------------------------------------------------------
+def test_or_set_table(
+    n: int = 4, seeds: Sequence[int] = (0, 1, 2)
+) -> Tuple[Headers, Rows]:
+    """Set/Test workloads on all three register-backed test-or-sets.
+
+    (Not a pytest test despite the name — see the trailing ``__test__``.)
+
+    Each run: a setter Set, concurrent and subsequent Tests by every
+    reader, plus one run with a *Byzantine-silent* setter (Tests must
+    then all agree on 0 or follow the relay rule).
+    """
+    rows: Rows = []
+    builders = {
+        "verifiable": lambda system: TestOrSetFromVerifiable(
+            VerifiableRegister(system, "tosreg", initial=0), name="tos"
+        ),
+        "authenticated": lambda system: TestOrSetFromAuthenticated(
+            AuthenticatedRegister(system, "tosreg", initial=0), name="tos"
+        ),
+        "sticky": lambda system: TestOrSetFromSticky(
+            StickyRegister(system, "tosreg"), name="tos"
+        ),
+    }
+    for kind, builder in builders.items():
+        for setter_mode in ("correct", "byzantine-silent"):
+            all_ok = True
+            latencies: List[int] = []
+            for seed in seeds:
+                system = System(n=n, scheduler=RandomScheduler(seed=seed))
+                tos = builder(system)
+                tos.install()
+                if setter_mode == "byzantine-silent":
+                    system.declare_byzantine(1)
+                    tos.start_helpers(sorted(system.correct))
+                    system.spawn(1, "client", behaviors.silent())
+                else:
+                    tos.start_helpers()
+                    setter = ScriptClient(
+                        [OpCall("tos", "set", (), lambda: tos.procedure_set(1))]
+                    )
+                    system.spawn(1, "client", setter.program())
+                testers: List[ScriptClient] = []
+                for pid in range(2, n + 1):
+                    client = ScriptClient(
+                        [
+                            OpCall(
+                                "tos",
+                                "test",
+                                (),
+                                lambda pid=pid: tos.procedure_test(pid),
+                            )
+                            for _ in range(2)
+                        ],
+                        pause_between=11,
+                    )
+                    testers.append(client)
+                    system.spawn(pid, "client", client.program())
+                system.run_until(
+                    lambda: all(t.done for t in testers), 2_000_000
+                )
+                report = check_test_or_set_properties(
+                    system.history, system.correct, "tos", setter=1
+                )
+                verdict = check_test_or_set(
+                    system.history, system.correct, "tos", setter=1
+                )
+                all_ok = all_ok and report.ok and verdict.ok
+                latencies.extend(
+                    operation_latencies(
+                        system.history, obj="tos", pids=system.correct
+                    ).get("test", [])
+                )
+            rows.append(
+                (
+                    kind,
+                    setter_mode,
+                    len(seeds),
+                    all_ok,
+                    round(statistics.mean(latencies), 1) if latencies else "-",
+                )
+            )
+    headers = ("backing register", "setter", "runs", "correct", "mean test steps")
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# E7 / E8: applications
+# ----------------------------------------------------------------------
+def broadcast_table(n: int = 4, seeds: Sequence[int] = (0, 1)) -> Tuple[Headers, Rows]:
+    """Non-equivocating + reliable broadcast under an equivocating sender.
+
+    The signature-free (sticky) version must deliver at most one message
+    per slot to all correct receivers; the signature-based comparator is
+    run under the same equivocation attack to exhibit its residual
+    weakness (two different validly-signed messages delivered), which is
+    the [4] observation that signatures alone do not give uniqueness.
+    """
+    rows: Rows = []
+    for seed in seeds:
+        # --- sticky-backed reliable broadcast, Byzantine sender. ---
+        system = System(n=n, scheduler=RandomScheduler(seed=seed))
+        rbc = ReliableBroadcast(system, "rbc", slots=1).install()
+        system.declare_byzantine(1)
+        rbc.start_helpers(sorted(system.correct))
+        backing = rbc._slots.register_for(1, 0)
+        system.spawn(
+            1,
+            "client",
+            behaviors.equivocating_writer_sticky(backing, "msgA", "msgB"),
+        )
+        receivers: List[ScriptClient] = []
+        for pid in range(2, n + 1):
+            client = ScriptClient(
+                [
+                    OpCall(
+                        "rbc",
+                        "deliver",
+                        (1, 0),
+                        lambda pid=pid: rbc.procedure_deliver(pid, 1, 0),
+                    )
+                    for _ in range(3)
+                ],
+                pause_between=23,
+            )
+            receivers.append(client)
+            system.spawn(pid, "client", client.program())
+        system.run_until(lambda: all(r.done for r in receivers), 2_000_000)
+        from repro.sim.values import is_bottom
+
+        delivered = {
+            result
+            for client in receivers
+            for (_o, _op, _a, result) in client.results
+            if not is_bottom(result)
+        }
+        rows.append(
+            (
+                "sticky (signature-free)",
+                seed,
+                "equivocating sender",
+                len(delivered),
+                len(delivered) <= 1,
+            )
+        )
+
+        # --- signature-based comparator under the same attack. ---
+        system2 = System(n=n, scheduler=RandomScheduler(seed=seed))
+        sig = SignedReliableBroadcast(system2, "sigrbc", slots=1).install()
+        system2.declare_byzantine(1)
+
+        def equivocating_sender():
+            # Sign-and-publish msgA, then overwrite with signed msgB:
+            # both validly signed, so receivers at different times
+            # deliver different messages.
+            yield from sig.procedure_broadcast(1, 0, "msgA")
+            yield from pause_steps(40)
+            yield from sig.procedure_broadcast(1, 0, "msgB")
+            from repro.sim.effects import Pause
+
+            while True:
+                yield Pause()
+
+        system2.spawn(1, "client", equivocating_sender())
+        receivers2: List[ScriptClient] = []
+        for pid in range(2, n + 1):
+            client = ScriptClient(
+                [
+                    OpCall(
+                        "sigrbc",
+                        "deliver",
+                        (1, 0),
+                        lambda pid=pid: sig.procedure_deliver(pid, 1, 0),
+                    )
+                    for _ in range(3)
+                ],
+                pause_between=29,
+            )
+            receivers2.append(client)
+            system2.spawn(pid, "client", client.program())
+        system2.run_until(lambda: all(r.done for r in receivers2), 2_000_000)
+        delivered2 = {
+            result
+            for client in receivers2
+            for (_o, _op, _a, result) in client.results
+            if not is_bottom(result)
+        }
+        rows.append(
+            (
+                "signed (n>2f comparator)",
+                seed,
+                "equivocating sender",
+                len(delivered2),
+                len(delivered2) <= 1,
+            )
+        )
+    headers = (
+        "implementation",
+        "seed",
+        "attack",
+        "distinct delivered",
+        "unique",
+    )
+    return headers, rows
+
+
+def snapshot_table(n: int = 4, seeds: Sequence[int] = (0, 1)) -> Tuple[Headers, Rows]:
+    """Atomic snapshot: concurrent updates + scans, with a Byzantine peer.
+
+    Checks per run: every scanned component was genuinely written (or
+    initial), and scans by correct processes are mutually comparable
+    (component-wise ordered) — the observable core of snapshot
+    linearizability.
+    """
+    rows: Rows = []
+    for mode in ("all-correct", "byzantine-updater"):
+        for seed in seeds:
+            system = System(n=n, scheduler=RandomScheduler(seed=seed))
+            snap = AtomicSnapshot(system, "snap").install()
+            if mode == "byzantine-updater":
+                system.declare_byzantine(4)
+                snap.start_helpers(sorted(system.correct))
+                system.spawn(
+                    4,
+                    "client",
+                    behaviors.garbage_spammer(
+                        [snap.segment(4).reg_witness(4)], period=17, seed=seed
+                    ),
+                )
+                active = [1, 2, 3]
+            else:
+                snap.start_helpers()
+                active = [1, 2, 3, 4]
+            clients: List[ScriptClient] = []
+            for pid in active:
+                calls = [
+                    OpCall(
+                        "snap",
+                        "update",
+                        (pid * 100,),
+                        lambda pid=pid: snap.procedure_update(pid, pid * 100),
+                    ),
+                    OpCall(
+                        "snap", "scan", (), lambda pid=pid: snap.procedure_scan(pid)
+                    ),
+                    OpCall(
+                        "snap",
+                        "update",
+                        (pid * 100 + 1,),
+                        lambda pid=pid: snap.procedure_update(pid, pid * 100 + 1),
+                    ),
+                    OpCall(
+                        "snap", "scan", (), lambda pid=pid: snap.procedure_scan(pid)
+                    ),
+                ]
+                client = ScriptClient(calls, pause_between=13)
+                clients.append(client)
+                system.spawn(pid, "client", client.program())
+            system.run_until(lambda: all(c.done for c in clients), 4_000_000)
+
+            scans = [
+                result
+                for client in clients
+                for (_o, op, _a, result) in client.results
+                if op == "scan"
+            ]
+            ordered = _scans_totally_ordered(scans)
+            valid = _scan_components_valid(scans, system, snap, active)
+            rows.append((mode, seed, len(scans), ordered, valid))
+    headers = ("mode", "seed", "scans", "scans ordered", "components valid")
+    return headers, rows
+
+
+def _scans_totally_ordered(scans: List[Tuple[Tuple[int, Any], ...]]) -> bool:
+    """Whether all scans are pairwise component-wise comparable."""
+
+    def leq(a, b) -> bool:
+        return all(sa[0] <= sb[0] for sa, sb in zip(a, b))
+
+    return all(leq(a, b) or leq(b, a) for a in scans for b in scans)
+
+
+def _scan_components_valid(
+    scans: List[Tuple[Tuple[int, Any], ...]],
+    system: System,
+    snap: AtomicSnapshot,
+    correct_updaters: List[int],
+) -> bool:
+    """Every scanned component of a correct updater matches what it wrote."""
+    written: Dict[int, Dict[int, Any]] = {pid: {0: None} for pid in system.pids}
+    for record in system.history.operations(obj="snap", op="update"):
+        pid = record.pid
+        seq = len(written[pid])
+        written[pid][seq] = record.args[0]
+    owners = sorted(system.pids)
+    for scan in scans:
+        for index, (seq, value) in enumerate(scan):
+            owner = owners[index]
+            if owner not in correct_updaters:
+                continue  # Byzantine components are unconstrained
+            if seq not in written[owner] or written[owner][seq] != value:
+                return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# E9: message passing
+# ----------------------------------------------------------------------
+def message_passing_table(seeds: Sequence[int] = (0, 1)) -> Tuple[Headers, Rows]:
+    """Algorithm 1 over the MP register emulation, plus ST87 acceptance."""
+    rows: Rows = []
+    for seed in seeds:
+        system = System(n=4, f=1)
+        system.network = RandomDelayNetwork(seed=seed, max_delay=6)
+        emu = RegisterEmulation(system)
+        reg = VerifiableRegister(system, "vreg", initial=0)
+        declare_registers(emu, reg)
+        for pid in system.pids:
+            system.spawn(pid, "replica", emu.replica_program(pid))
+            system.spawn(pid, "help", translated_help(emu, reg, pid))
+
+        def writer():
+            yield from translate(emu, 1, reg.op(1, "write", 9))
+            result = yield from translate(emu, 1, reg.op(1, "sign", 9))
+            return result
+
+        w = FunctionClient(writer)
+        system.spawn(1, "client", w.program())
+        system.run_until(lambda: w.done, 4_000_000)
+
+        def reader():
+            value = yield from translate(emu, 2, reg.op(2, "read"))
+            good = yield from translate(emu, 2, reg.op(2, "verify", 9))
+            bad = yield from translate(emu, 2, reg.op(2, "verify", 555))
+            return (value, good, bad)
+
+        r = FunctionClient(reader)
+        system.spawn(2, "client", r.program())
+        system.run_until(lambda: r.done, 8_000_000)
+        value, good, bad = r.result
+        rows.append(
+            (
+                "Alg 1 over MP emulation",
+                seed,
+                system.clock,
+                system.metrics.messages_sent,
+                value == 9 and good is True and bad is False,
+            )
+        )
+
+        # ST87 authenticated broadcast acceptance (the related-work
+        # comparator whose acceptance is eventual, not linearizable).
+        system2 = System(n=4, f=1)
+        system2.network = RandomDelayNetwork(seed=seed + 100, max_delay=6)
+        ab = AuthenticatedBroadcast(system2)
+        for pid in system2.pids:
+            system2.spawn(pid, "daemon", ab.daemon(pid))
+        b = FunctionClient(lambda: ab.broadcast(1, "m", 1))
+        system2.spawn(1, "client", b.program())
+        system2.run_until(
+            lambda: ab.everyone_accepted((1, "m", 1), list(system2.pids)),
+            1_000_000,
+        )
+        rows.append(
+            (
+                "ST87 authenticated broadcast",
+                seed,
+                system2.clock,
+                system2.metrics.messages_sent,
+                True,
+            )
+        )
+    headers = ("protocol", "seed", "steps", "messages", "correct")
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# E10: step complexity vs the signature baseline
+# ----------------------------------------------------------------------
+def step_complexity_table(
+    ns: Sequence[int] = (4, 7, 10, 13),
+    seeds: Sequence[int] = (0, 1, 2),
+) -> Tuple[Headers, Rows]:
+    """Mean operation latency (steps) by register kind and n.
+
+    The shape to expect (and that EXPERIMENTS.md records): the signature
+    baseline's Verify is O(n) reads with no waiting; Algorithm 1's
+    Verify pays the witness round machinery, growing faster with n —
+    that gap is the *price of removing signatures*, and the fault bound
+    (n > 3f vs n > f) is what the price buys.
+    """
+    rows: Rows = []
+    for kind in ("verifiable", "signed", "authenticated", "sticky"):
+        for n in ns:
+            pooled: Dict[str, List[int]] = {}
+            for seed in seeds:
+                outcome = run_register_scenario(kind, n=n, seed=seed)
+                for op, samples in operation_latencies(
+                    outcome.system.history, obj="reg", pids=outcome.system.correct
+                ).items():
+                    pooled.setdefault(op, []).extend(samples)
+            for op in sorted(pooled):
+                stats = LatencyStats.from_samples(pooled[op])
+                rows.append(
+                    (kind, n, op, stats.count, round(stats.mean, 1), stats.maximum)
+                )
+    headers = ("kind", "n", "operation", "samples", "mean steps", "max steps")
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# E11: the §5.1 mechanism ablations
+# ----------------------------------------------------------------------
+def ablation_naive_quorum(seed: int = 0) -> Tuple[Headers, Rows]:
+    """Flip-flop collusion vs naive quorum Verify vs Algorithm 1.
+
+    Setup (n = 4, f = 1): a correct writer signs ``v``; the Byzantine
+    helper p4 answers "yes" to the first verifier round and "no"
+    afterwards; p2's Help daemon is scheduled very slowly (legal
+    asynchrony). The naive "first n - f replies vs threshold" Verify then
+    gives verifier A true and verifier B false — a relay violation —
+    while Algorithm 1 under the *same* adversary and schedule stays
+    correct (its set1 is monotonic and set0 resets give re-ask chances).
+    """
+    rows: Rows = []
+    for kind in ("naive-quorum", "verifiable"):
+        system = System(
+            n=4,
+            scheduler=PriorityScheduler(
+                weights={(2, "help:reg"): 0.002}, seed=seed, fairness_bound=40_000
+            ),
+        )
+        register = (
+            NaiveQuorumVerifiableRegister(system, "reg", initial=0)
+            if kind == "naive-quorum"
+            else VerifiableRegister(system, "reg", initial=0)
+        )
+        register.install()
+        system.declare_byzantine(4)
+        register.start_helpers([1, 2, 3])
+        system.spawn(
+            4, "client", behaviors.flip_flop_witness(register, 4, 10, yes_rounds=1)
+        )
+
+        writer = ScriptClient(
+            [
+                OpCall("reg", "write", (10,), lambda: register.procedure_write(1, 10)),
+                OpCall("reg", "sign", (10,), lambda: register.procedure_sign(1, 10)),
+            ]
+        )
+        system.spawn(1, "client", writer.program())
+        system.run_until(lambda: writer.done, 1_000_000)
+
+        verifier_a = ScriptClient(
+            [OpCall("reg", "verify", (10,), lambda: register.procedure_verify(3, 10))]
+        )
+        system.spawn(3, "client", verifier_a.program())
+        system.run_until(lambda: verifier_a.done, 1_000_000)
+
+        verifier_b = ScriptClient(
+            [OpCall("reg", "verify", (10,), lambda: register.procedure_verify(2, 10))]
+        )
+        system.spawn(2, "client", verifier_b.program())
+        system.run_until(lambda: verifier_b.done, 1_000_000)
+
+        first = verifier_a.result_of("verify")
+        second = verifier_b.result_of("verify")
+        relay_ok = not (first is True and second is False)
+        rows.append((kind, first, second, relay_ok))
+    headers = ("verify strategy", "verifier A", "verifier B (later)", "relay holds")
+    return headers, rows
+
+
+def ablation_set0_reset(max_steps: int = 60_000) -> Tuple[Headers, Rows]:
+    """Liveness ablation: Verify with and without the set0 reset.
+
+    Orchestrated race (n = 4, f = 1, Byzantine writer silent after
+    signing): reader p2 verifies; p3's helper answers "no" *before* the
+    writer's sign lands; p4's and p2's helpers answer "yes" after. With
+    the paper's reset, the "no" voter is re-asked and the Verify returns
+    true. Without the reset (Lemma 37(3)'s mechanism disabled) the
+    verify is left waiting on the silent Byzantine writer forever — a
+    liveness failure, detected as a step-budget exhaustion.
+    """
+    rows: Rows = []
+    for reset in (True, False):
+        system = System(n=4)
+        register = VerifiableRegister(system, "reg", initial=0, reset_set0=reset)
+        register.install()
+        system.declare_byzantine(1)
+
+        # Stage 1: only p3's helper runs; p2 starts Verify(7); p3 replies
+        # "no" (the writer has signed nothing yet).
+        system.spawn(3, "help:reg", register.procedure_help(3))
+        verifier = ScriptClient(
+            [OpCall("reg", "verify", (7,), lambda: register.procedure_verify(2, 7))]
+        )
+        system.spawn(2, "client", verifier.program())
+
+        def p3_replied_no() -> bool:
+            raw = system.registers.peek(register.reg_reply(3, 2))
+            return (
+                isinstance(raw, tuple)
+                and len(raw) == 2
+                and isinstance(raw[1], int)
+                and raw[1] >= 1
+                and 7 not in raw[0]
+            )
+
+        system.run_until(p3_replied_no, max_steps, label="p3's no-reply")
+        system.run(600)  # let the verifier consume the reply
+
+        # Stage 2: the Byzantine writer "signs" 7 by writing its register
+        # directly, then goes silent forever.
+        def byz_sign():
+            yield WriteRegister(register.reg_witness(1), frozenset({7}))
+
+        signer = FunctionClient(byz_sign)
+        system.spawn(1, "byz", signer.program())
+        system.run_until(lambda: signer.done, max_steps, label="byz sign")
+
+        # Stage 3: p4's and p2's helpers come up and reply "yes".
+        system.spawn(4, "help:reg", register.procedure_help(4))
+        system.spawn(2, "help:reg", register.procedure_help(2))
+        try:
+            system.run_until(lambda: verifier.done, max_steps, label="verify")
+            result: Any = verifier.result_of("verify")
+            terminated = True
+        except StepLimitExceeded:
+            result = "-"
+            terminated = False
+        rows.append(
+            (
+                "with set0 reset (paper)" if reset else "without reset (ablated)",
+                terminated,
+                result,
+            )
+        )
+    headers = ("variant", "verify terminates", "result")
+    return headers, rows
+
+
+# Despite its name, the E6 driver is not a pytest test function.
+test_or_set_table.__test__ = False  # type: ignore[attr-defined]
+
+
+# ----------------------------------------------------------------------
+# E12: the §9.1 sticky-write ablation
+# ----------------------------------------------------------------------
+def ablation_sticky_write_wait(max_steps: int = 200_000) -> Tuple[Headers, Rows]:
+    """Why Write must wait for ``n - f`` witnesses (Section 9.1).
+
+    The paper: "without this wait, a process may invoke a Read after a
+    Write(v) completes and get back ⊥ rather than v". Staged race
+    (n = 4, f = 1): a Byzantine stonewaller always reports "not a
+    witness"; the correct helpers come up only after the writer's Write
+    returned. With the wait removed, the Write returns before any
+    witness exists, the subsequent Read collects ``f + 1`` ⊥-reports and
+    returns ⊥ — violating validity (Obs 22). With the paper's wait the
+    Write cannot return that early and the Read gets the value.
+    """
+    from repro.sim.values import BOTTOM, is_bottom
+    from repro.sim.effects import Pause, ReadRegister
+
+    rows: Rows = []
+    for wait in (True, False):
+        system = System(n=4)
+        register = StickyRegister(system, "s", wait_for_witnesses=wait)
+        register.install()
+        system.declare_byzantine(4)
+
+        def bottom_stonewaller():
+            # Replies "I witness nothing" (⊥) to every asker round, fast.
+            while True:
+                for k in register.readers:
+                    if k == 4:
+                        continue
+                    counter = yield ReadRegister(register.reg_counter(k))
+                    counter = counter if isinstance(counter, int) else 0
+                    yield WriteRegister(
+                        register.reg_reply(4, k), (BOTTOM, counter)
+                    )
+                yield Pause()
+
+        system.spawn(4, "client", bottom_stonewaller())
+
+        # Shared timeline for both variants: only p3's helper is up when
+        # the Write is issued; p1's and p2's helpers are slow (legal
+        # asynchrony) and arrive later.
+        register.start_helpers([3])
+        writer = ScriptClient(
+            [OpCall("s", "write", ("V",), lambda: register.procedure_write(1, "V"))]
+        )
+        system.spawn(1, "client", writer.program())
+
+        if wait:
+            # Paper's algorithm: the Write blocks until n - f witnesses
+            # exist, which needs the late helpers; only after they come
+            # up does Write (and, after it, the Read) proceed.
+            system.run(400)
+            assert not writer.done, "Write returned without witnesses?!"
+            register.start_helpers([1, 2])
+            system.run_until(lambda: writer.done, max_steps, label="sticky write")
+            reader = ScriptClient(
+                [OpCall("s", "read", (), lambda: register.procedure_read(2))]
+            )
+            system.spawn(2, "client", reader.program())
+            system.run_until(lambda: reader.done, max_steps, label="sticky read")
+        else:
+            # Ablated: the Write returns immediately — before any
+            # witness exists. The Read that follows races the Byzantine
+            # stonewaller (one ⊥-report) and the lone early helper,
+            # which cannot be a witness yet (only 2 of the required 3
+            # echoes exist) and so also reports ⊥ — two ⊥-reports exceed
+            # f and the Read returns ⊥ after a completed Write.
+            system.run_until(lambda: writer.done, max_steps, label="sticky write")
+            reader = ScriptClient(
+                [OpCall("s", "read", (), lambda: register.procedure_read(2))]
+            )
+            system.spawn(2, "client", reader.program())
+            system.run_until(lambda: reader.done, max_steps, label="sticky read")
+            register.start_helpers([1, 2])  # too late for this reader
+        result = reader.result_of("read")
+        validity_holds = result == "V"
+        rows.append(
+            (
+                "with n-f wait (paper)" if wait else "without wait (ablated)",
+                repr(result),
+                validity_holds,
+            )
+        )
+    headers = ("variant", "read after write", "validity (Obs 22) holds")
+    return headers, rows

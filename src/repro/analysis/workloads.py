@@ -1,0 +1,417 @@
+"""Workload generation and the reusable register-scenario harness.
+
+Everything the randomized experiments (E1–E4, E6) and the test suite
+share lives here:
+
+* :func:`make_register` — registry of register implementations by kind.
+* :class:`RegisterScenario` — builds a system + register + helpers +
+  scripted clients (+ optional adversaries), runs it to completion, and
+  produces both correctness verdicts.
+* :func:`random_register_workload` — seeded operation scripts shaped to
+  each register type's vocabulary (writers write/sign, readers read and
+  verify a mix of signed, unsigned and never-written values).
+
+Determinism: every random choice flows from the caller's seed, so any
+failing configuration replays exactly from its ``(kind, n, f, seed,
+adversary)`` coordinates — which the test suite prints on failure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.adversary import behaviors
+from repro.core import (
+    AuthenticatedRegister,
+    NaiveQuorumVerifiableRegister,
+    NaiveVerifiableRegister,
+    SignedVerifiableRegister,
+    StickyRegister,
+    VerifiableRegister,
+)
+from repro.errors import ConfigurationError
+from repro.sim import (
+    OpCall,
+    RandomScheduler,
+    ScriptClient,
+    System,
+)
+from repro.sim.process import pause_steps
+from repro.sim.scheduler import Scheduler
+from repro.spec import (
+    ByzantineVerdict,
+    PropertyReport,
+    check_authenticated,
+    check_authenticated_properties,
+    check_sticky,
+    check_sticky_properties,
+    check_verifiable,
+    check_verifiable_properties,
+)
+
+#: Register kinds accepted throughout the analysis layer.
+REGISTER_KINDS = ("verifiable", "authenticated", "sticky", "signed", "naive-quorum")
+
+
+def make_register(
+    kind: str,
+    system: System,
+    name: str = "reg",
+    writer: int = 1,
+    f: Optional[int] = None,
+    initial: Any = 0,
+) -> Any:
+    """Instantiate a register implementation by kind name."""
+    if kind == "verifiable":
+        return VerifiableRegister(system, name, writer=writer, f=f, initial=initial)
+    if kind == "authenticated":
+        return AuthenticatedRegister(system, name, writer=writer, f=f, initial=initial)
+    if kind == "sticky":
+        return StickyRegister(system, name, writer=writer, f=f)
+    if kind == "signed":
+        return SignedVerifiableRegister(
+            system, name, writer=writer, f=f, initial=initial
+        )
+    if kind == "naive-quorum":
+        return NaiveQuorumVerifiableRegister(
+            system, name, writer=writer, f=f, initial=initial
+        )
+    raise ConfigurationError(f"unknown register kind {kind!r}")
+
+
+def checker_for(kind: str) -> Tuple[Callable, Callable]:
+    """(property-checker, byzantine-linearizability-checker) for ``kind``.
+
+    The signed baseline and the naive-quorum ablation reuse the
+    verifiable register's specification — they implement the same object.
+    """
+    if kind in ("verifiable", "signed", "naive-quorum"):
+        return check_verifiable_properties, check_verifiable
+    if kind == "authenticated":
+        return check_authenticated_properties, check_authenticated
+    if kind == "sticky":
+        return check_sticky_properties, check_sticky
+    raise ConfigurationError(f"unknown register kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Random scripts
+# ----------------------------------------------------------------------
+@dataclass
+class Workload:
+    """Operation scripts for one scenario.
+
+    ``writer_ops`` is a list of (op, args); ``reader_ops[pid]`` likewise.
+    """
+
+    writer_ops: List[Tuple[str, Tuple[Any, ...]]]
+    reader_ops: Dict[int, List[Tuple[str, Tuple[Any, ...]]]]
+
+
+def random_register_workload(
+    kind: str,
+    readers: Sequence[int],
+    seed: int,
+    writer_op_count: int = 6,
+    reader_op_count: int = 5,
+    domain: Sequence[Any] = (10, 20, 30),
+) -> Workload:
+    """Seeded scripts shaped to the register kind's operation vocabulary.
+
+    Readers probe written, signed, *and* never-written values so that
+    both verify outcomes are exercised; sticky writers attempt repeat
+    writes (which must be idempotent no-ops).
+    """
+    rng = random.Random(seed)
+    domain = list(domain)
+    foreign = [d * 1000 + 7 for d in domain]  # values nobody ever writes
+    writer_ops: List[Tuple[str, Tuple[Any, ...]]] = []
+
+    if kind == "sticky":
+        writer_ops.append(("write", (rng.choice(domain),)))
+        if rng.random() < 0.5:
+            writer_ops.append(("write", (rng.choice(domain),)))
+    elif kind == "authenticated":
+        for _ in range(writer_op_count):
+            writer_ops.append(("write", (rng.choice(domain),)))
+    else:  # verifiable-shaped vocabularies
+        written: List[Any] = []
+        for _ in range(writer_op_count):
+            if written and rng.random() < 0.45:
+                # Sign something (usually written, sometimes not).
+                pool = written if rng.random() < 0.8 else foreign
+                writer_ops.append(("sign", (rng.choice(pool),)))
+            else:
+                value = rng.choice(domain)
+                written.append(value)
+                writer_ops.append(("write", (value,)))
+
+    reader_ops: Dict[int, List[Tuple[str, Tuple[Any, ...]]]] = {}
+    for pid in readers:
+        ops: List[Tuple[str, Tuple[Any, ...]]] = []
+        for _ in range(reader_op_count):
+            if kind == "sticky":
+                ops.append(("read", ()))
+            elif rng.random() < 0.4:
+                ops.append(("read", ()))
+            else:
+                pool = domain if rng.random() < 0.75 else foreign
+                ops.append(("verify", (rng.choice(pool),)))
+        reader_ops[pid] = ops
+    return Workload(writer_ops=writer_ops, reader_ops=reader_ops)
+
+
+# ----------------------------------------------------------------------
+# Adversary registry
+# ----------------------------------------------------------------------
+#: Names accepted by RegisterScenario's writer_adversary / reader_adversary.
+WRITER_ADVERSARIES = ("none", "silent", "deny", "equivocate", "garbage")
+READER_ADVERSARIES = ("silent", "garbage", "lying", "stonewall", "flipflop")
+
+
+def writer_adversary_program(
+    name: str, register: Any, kind: str, domain: Sequence[Any]
+) -> Any:
+    """Instantiate a Byzantine *writer* behaviour for ``register``."""
+    if name == "silent":
+        return behaviors.silent()
+    if name == "garbage":
+        return behaviors.garbage_spammer(
+            behaviors.owned_register_names(register, register.writer)
+        )
+    if name == "deny":
+        if kind == "authenticated":
+            return behaviors.denying_writer_authenticated(register, domain[0])
+        return behaviors.denying_writer_verifiable(register, domain[0])
+    if name == "equivocate":
+        if kind == "sticky":
+            return behaviors.equivocating_writer_sticky(
+                register, domain[0], domain[-1]
+            )
+        return behaviors.equivocating_writer_verifiable(register, domain)
+    raise ConfigurationError(f"unknown writer adversary {name!r}")
+
+
+def reader_adversary_program(
+    name: str, register: Any, pid: int, kind: str, domain: Sequence[Any]
+) -> Any:
+    """Instantiate a Byzantine *reader/helper* behaviour for ``register``."""
+    if name == "silent":
+        return behaviors.silent()
+    if name == "garbage":
+        return behaviors.garbage_spammer(
+            behaviors.owned_register_names(register, pid)
+        )
+    if name == "lying":
+        if kind == "sticky":
+            return behaviors.sticky_lying_witness(register, pid, domain[0])
+        return behaviors.lying_witness(register, pid, [d * 31 + 1 for d in domain])
+    if name == "stonewall":
+        return behaviors.stonewalling_witness(register, pid)
+    if name == "flipflop":
+        return behaviors.flip_flop_witness(register, pid, domain[0], yes_rounds=2)
+    raise ConfigurationError(f"unknown reader adversary {name!r}")
+
+
+# ----------------------------------------------------------------------
+# Scenario harness
+# ----------------------------------------------------------------------
+@dataclass
+class ScenarioOutcome:
+    """Everything a finished scenario exposes for checking and metrics."""
+
+    kind: str
+    n: int
+    f: int
+    seed: int
+    adversary: str
+    system: System
+    register: Any
+    report: PropertyReport
+    verdict: ByzantineVerdict
+    steps: int
+
+    @property
+    def ok(self) -> bool:
+        """True iff both the property report and the linearization passed."""
+        return bool(self.report) and bool(self.verdict)
+
+    def coordinates(self) -> str:
+        """Replay coordinates for failure messages."""
+        return (
+            f"kind={self.kind} n={self.n} f={self.f} seed={self.seed} "
+            f"adversary={self.adversary}"
+        )
+
+    def failure_detail(self) -> str:
+        """Full diagnostics: coordinates, report, verdict, history."""
+        return "\n".join(
+            [
+                self.coordinates(),
+                "property report: " + self.report.summary(),
+                "byzantine verdict: "
+                + ("ok" if self.verdict.ok else self.verdict.reason),
+                "history:",
+                self.system.history.describe(),
+            ]
+        )
+
+
+def run_register_scenario(
+    kind: str,
+    n: int,
+    seed: int = 0,
+    f: Optional[int] = None,
+    writer_adversary: str = "none",
+    reader_adversaries: Optional[Dict[int, str]] = None,
+    workload: Optional[Workload] = None,
+    scheduler: Optional[Scheduler] = None,
+    domain: Sequence[Any] = (10, 20, 30),
+    initial: Any = 0,
+    max_steps: int = 2_000_000,
+    reader_stagger: int = 40,
+) -> ScenarioOutcome:
+    """Build, run, and check one complete register scenario.
+
+    Args:
+        kind: One of :data:`REGISTER_KINDS`.
+        n: Process count (pid 1 is the writer).
+        seed: Drives the scheduler and the workload generator.
+        f: Fault bound (defaults to ``(n-1)//3``).
+        writer_adversary: ``"none"`` for a correct scripted writer, else a
+            :data:`WRITER_ADVERSARIES` behaviour.
+        reader_adversaries: pid -> behaviour name for Byzantine readers.
+        workload: Pre-built scripts (random ones are generated when None).
+        scheduler: Defaults to a seeded :class:`RandomScheduler`.
+        domain: Value domain for generated operations.
+        reader_stagger: Pause steps inserted before each reader's script
+            so operations overlap the writer's rather than trivially
+            following it.
+
+    Returns a :class:`ScenarioOutcome` with verdicts already computed.
+    """
+    reader_adversaries = dict(reader_adversaries or {})
+    adversary_label = writer_adversary
+    if reader_adversaries:
+        pretty = ",".join(
+            f"p{pid}:{name}" for pid, name in sorted(reader_adversaries.items())
+        )
+        adversary_label += f"+{pretty}"
+
+    system = System(
+        n=n, f=f, scheduler=scheduler or RandomScheduler(seed=seed)
+    )
+    register = make_register(kind, system, "reg", writer=1, f=f, initial=initial)
+    register.install()
+
+    byzantine = set(reader_adversaries)
+    if writer_adversary != "none":
+        byzantine.add(register.writer)
+    if byzantine:
+        system.declare_byzantine(*byzantine)
+    register.start_helpers(sorted(system.correct))
+
+    correct_readers = [pid for pid in register.readers if pid not in byzantine]
+    if workload is None:
+        workload = random_register_workload(kind, correct_readers, seed)
+
+    clients: List[ScriptClient] = []
+    if writer_adversary == "none":
+        writer_calls = [
+            OpCall(
+                register.name,
+                op,
+                args,
+                (lambda op=op, args=args: getattr(
+                    register, f"procedure_{op}"
+                )(register.writer, *args)),
+            )
+            for op, args in workload.writer_ops
+        ]
+        writer_client = ScriptClient(writer_calls, pause_between=5)
+        clients.append(writer_client)
+        system.spawn(register.writer, "client", writer_client.program())
+    else:
+        system.spawn(
+            register.writer,
+            "client",
+            writer_adversary_program(writer_adversary, register, kind, domain),
+        )
+
+    for index, pid in enumerate(correct_readers):
+        calls = [
+            OpCall(
+                register.name,
+                op,
+                args,
+                (lambda pid=pid, op=op, args=args: getattr(
+                    register, f"procedure_{op}"
+                )(pid, *args)),
+            )
+            for op, args in workload.reader_ops.get(pid, [])
+        ]
+        client = ScriptClient(calls, pause_between=7)
+        clients.append(client)
+
+        def staggered(client=client, delay=(index + 1) * reader_stagger):
+            yield from pause_steps(delay)
+            yield from client.program()
+
+        from repro.sim import FunctionClient
+
+        wrapper = FunctionClient(staggered)
+        client._wrapper = wrapper  # keep completion observable
+        system.spawn(pid, "client", wrapper.program())
+
+    for pid, name in sorted(reader_adversaries.items()):
+        system.spawn(
+            pid,
+            "client",
+            reader_adversary_program(name, register, pid, kind, domain),
+        )
+
+    def all_scripts_done() -> bool:
+        return all(
+            getattr(c, "_wrapper", c).done if hasattr(c, "_wrapper") else c.done
+            for c in clients
+        )
+
+    steps = system.run_until(all_scripts_done, max_steps, label="all clients")
+
+    check_properties, check_byzantine = checker_for(kind)
+    if kind == "sticky":
+        report = check_properties(
+            system.history, system.correct, register.name, writer=register.writer
+        )
+        verdict = check_byzantine(
+            system.history, system.correct, register.name, writer=register.writer
+        )
+    else:
+        report = check_properties(
+            system.history,
+            system.correct,
+            register.name,
+            writer=register.writer,
+            initial=initial,
+        )
+        verdict = check_byzantine(
+            system.history,
+            system.correct,
+            register.name,
+            writer=register.writer,
+            initial=initial,
+        )
+    return ScenarioOutcome(
+        kind=kind,
+        n=n,
+        f=system.f if f is None else f,
+        seed=seed,
+        adversary=adversary_label,
+        system=system,
+        register=register,
+        report=report,
+        verdict=verdict,
+        steps=steps,
+    )

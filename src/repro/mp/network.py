@@ -1,0 +1,166 @@
+"""Asynchronous message-passing network for the simulator.
+
+Models the standard asynchronous, reliable, authenticated-channel
+network of [11] and [13]:
+
+* **Asynchrony** — every message suffers an arbitrary finite delay, realized
+  as a seeded random delay in virtual-time steps (so runs reproduce).
+* **Reliability** — messages between correct processes are never lost;
+  the network delivers every submitted message eventually.
+* **Authenticated channels** — the receiver learns the true sender pid;
+  a Byzantine process cannot spoof another's identity. This is a
+  property of the kernel (the ``Send`` effect carries the stepping
+  process's pid), not of this module.
+
+The network plugs into ``System.network``; the kernel submits outgoing
+messages and ticks the delivery queue once per step. Tests that need
+adversarial message *ordering* use :class:`ScriptedNetwork`, which holds
+every message until the test explicitly releases it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import NetworkError
+
+
+@dataclass(order=True)
+class _QueuedMessage:
+    """Heap entry: ``(due_time, tiebreak)`` orders deliveries."""
+
+    due: int
+    tiebreak: int
+    sender: int = field(compare=False)
+    dest: int = field(compare=False)
+    payload: Any = field(compare=False)
+
+
+class RandomDelayNetwork:
+    """Reliable network with seeded random per-message delays.
+
+    Args:
+        seed: RNG seed; identical seeds give identical delivery orders.
+        min_delay / max_delay: Inclusive bounds (in steps) on each
+            message's delay. ``min_delay >= 1`` keeps sends asynchronous
+            (a message is never receivable in the same step it was sent).
+    """
+
+    def __init__(self, seed: int = 0, min_delay: int = 1, max_delay: int = 24):
+        if not 1 <= min_delay <= max_delay:
+            raise NetworkError(
+                f"need 1 <= min_delay <= max_delay, got {min_delay}, {max_delay}"
+            )
+        self._rng = random.Random(seed)
+        self._min = min_delay
+        self._max = max_delay
+        self._heap: List[_QueuedMessage] = []
+        self._tiebreak = itertools.count()
+        #: Total messages ever submitted (metrics).
+        self.submitted = 0
+        #: Total messages delivered into mailboxes (metrics).
+        self.delivered = 0
+
+    def submit(self, sender: int, dest: int, payload: Any, now: int) -> None:
+        """Queue a message for future delivery (kernel hook)."""
+        delay = self._rng.randint(self._min, self._max)
+        heapq.heappush(
+            self._heap,
+            _QueuedMessage(
+                due=now + delay,
+                tiebreak=next(self._tiebreak),
+                sender=sender,
+                dest=dest,
+                payload=payload,
+            ),
+        )
+        self.submitted += 1
+
+    def tick(self, now: int, system: Any) -> None:
+        """Deliver every message whose due time has arrived (kernel hook)."""
+        while self._heap and self._heap[0].due <= now:
+            message = heapq.heappop(self._heap)
+            system.deliver(message.sender, message.dest, message.payload)
+            self.delivered += 1
+
+    def pending(self) -> int:
+        """Messages queued but not yet delivered."""
+        return len(self._heap)
+
+
+class ScriptedNetwork:
+    """A network whose deliveries are explicitly released by the test.
+
+    Every submitted message is held in an inbox visible through
+    :meth:`held`; the orchestrator calls :meth:`release` (or
+    :meth:`release_matching`) to let specific messages through on the
+    next tick. This gives message-level adversarial scheduling — the
+    message-passing analogue of :class:`ScriptedScheduler`.
+    """
+
+    def __init__(self) -> None:
+        self._held: List[Tuple[int, int, int, Any]] = []  # (id, sender, dest, payload)
+        self._release_queue: List[Tuple[int, int, Any]] = []
+        self._next_id = itertools.count()
+        self.submitted = 0
+        self.delivered = 0
+
+    def submit(self, sender: int, dest: int, payload: Any, now: int) -> None:
+        """Hold the message until the test releases it."""
+        self._held.append((next(self._next_id), sender, dest, payload))
+        self.submitted += 1
+
+    def tick(self, now: int, system: Any) -> None:
+        """Deliver everything previously released."""
+        queue, self._release_queue = self._release_queue, []
+        for sender, dest, payload in queue:
+            system.deliver(sender, dest, payload)
+            self.delivered += 1
+
+    # ------------------------------------------------------------------
+    def held(self) -> List[Tuple[int, int, int, Any]]:
+        """Snapshot of held messages as ``(id, sender, dest, payload)``."""
+        return list(self._held)
+
+    def release(self, message_id: int) -> None:
+        """Release one held message by id."""
+        for index, (mid, sender, dest, payload) in enumerate(self._held):
+            if mid == message_id:
+                del self._held[index]
+                self._release_queue.append((sender, dest, payload))
+                return
+        raise NetworkError(f"no held message with id {message_id}")
+
+    def release_matching(
+        self,
+        sender: Optional[int] = None,
+        dest: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> int:
+        """Release held messages matching the filters; returns the count."""
+        released = 0
+        remaining: List[Tuple[int, int, int, Any]] = []
+        for entry in self._held:
+            mid, msg_sender, msg_dest, payload = entry
+            matches = (sender is None or msg_sender == sender) and (
+                dest is None or msg_dest == dest
+            )
+            if matches and (limit is None or released < limit):
+                self._release_queue.append((msg_sender, msg_dest, payload))
+                released += 1
+            else:
+                remaining.append(entry)
+        self._held = remaining
+        return released
+
+    def release_all(self) -> int:
+        """Release everything currently held."""
+        return self.release_matching()
+
+    def pending(self) -> int:
+        """Held plus released-but-undelivered message count."""
+        return len(self._held) + len(self._release_queue)

@@ -1,0 +1,328 @@
+"""SWMR register emulation over message passing, n > 3f, no signatures.
+
+The paper closes by noting that its registers also exist in
+message-passing systems with ``n > 3f``, because SWMR registers can be
+emulated there without signatures (Mostéfaoui, Petrolia, Raynal & Jard
+[11]). This module provides such an emulation over the ``repro.mp``
+network so experiment E9 can run Algorithm 1 end-to-end on top of
+messages.
+
+Protocol (echo-amplified quorum replication, in the spirit of [11]):
+
+* Every process acts as a *replica* holding the highest timestamped
+  ``(seq, value)`` pair it has accepted for each emulated register.
+* ``write(v)``: the writer increments its sequence number, broadcasts
+  ``WRITE(reg, seq, v)``, and waits for ``n - f`` ``ACK``\\ s.
+* Replicas accept a WRITE only from the register's true writer (channels
+  are authenticated), adopt it if newer, **echo** it to all replicas,
+  and also adopt pairs confirmed by ``f + 1`` matching echoes — so every
+  correct replica eventually converges even if the writer's own sends
+  race with reads.
+* ``read()``: the reader broadcasts ``READ(reg, rid)`` and collects
+  ``VALUE(reg, rid, seq, v)`` replies. It returns ``v`` once some pair
+  ``(seq, v)`` is *confirmed* — reported identically by ``f + 1``
+  distinct replicas (at least one correct) — choosing the confirmed pair
+  with the highest ``seq``. It re-broadcasts the query until confirmation
+  arrives.
+
+Mailbox discipline: each process's **replica daemon is the sole consumer
+of its mailbox**; it parses every inbound message and records
+client-relevant responses (ACKs, VALUE reports) into the process's
+:class:`ReplicaState`. Client operations (the :meth:`RegisterEmulation.write`
+/ :meth:`RegisterEmulation.read` generators) never touch the mailbox —
+they broadcast, then poll the shared state, which eliminates the classic
+two-readers-one-mailbox race.
+
+Guarantees (with at most ``f`` Byzantine replicas and a correct writer):
+**regular-register** semantics — a read returns a value at least as new
+as the last write completed before it began (never a fabricated one,
+because fabrication needs ``f + 1`` matching liars). Full atomicity
+additionally needs the reader write-back round of [11]; see DESIGN.md's
+substitution note. E9's layered experiment uses schedules with
+non-overlapping low-level writes, for which regular and atomic coincide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.effects import Broadcast, Pause, ReceiveAll, Send
+from repro.sim.process import Program
+from repro.sim.system import System
+from repro.sim.values import freeze
+
+
+@dataclass
+class EmulatedRegisterSpec:
+    """Static description of one emulated register."""
+
+    name: str
+    writer: int
+    initial: Any = None
+
+
+class ReplicaState:
+    """Per-process replica + client bookkeeping for all emulated registers."""
+
+    def __init__(self, specs: Dict[str, EmulatedRegisterSpec]):
+        #: Highest accepted (seq, value) per register.
+        self.accepted: Dict[str, Tuple[int, Any]] = {
+            name: (0, freeze(spec.initial)) for name, spec in specs.items()
+        }
+        #: Echo tallies: (register, seq, value) -> pids that echoed it.
+        self.echo_votes: Dict[Tuple[str, int, Any], Set[int]] = {}
+        #: Pairs this replica has itself echoed (echo at most once).
+        self.echoed: Set[Tuple[str, int, Any]] = set()
+        #: ACKs recorded for this process's own writes: (reg, seq) -> pids.
+        self.acks: Dict[Tuple[str, int], Set[int]] = {}
+        #: VALUE reports for this process's reads: (reg, rid) -> per-sender.
+        self.value_reports: Dict[Tuple[str, int], Dict[int, Tuple[int, Any]]] = {}
+
+    def maybe_adopt(self, name: str, seq: int, value: Any) -> bool:
+        """Adopt ``(seq, value)`` if strictly newer; returns adoption."""
+        if seq > self.accepted[name][0]:
+            self.accepted[name] = (seq, value)
+            return True
+        return False
+
+
+class RegisterEmulation:
+    """A set of SWMR registers emulated over the system's network.
+
+    Args:
+        system: A system with a network installed (``system.network``).
+        f: Fault bound the emulation is configured for.
+
+    Usage: declare registers with :meth:`add_register`, spawn
+    :meth:`replica_program` on every correct process, then run the
+    :meth:`write` / :meth:`read` generators from client coroutines of the
+    same processes.
+    """
+
+    def __init__(self, system: System, f: Optional[int] = None):
+        if system.network is None:
+            raise ConfigurationError("RegisterEmulation requires a network")
+        self.system = system
+        self.f = system.f if f is None else f
+        self.n = system.n
+        self._specs: Dict[str, EmulatedRegisterSpec] = {}
+        self._write_seq: Dict[str, int] = {}
+        self._read_id: Dict[int, int] = {}
+        self._states: Dict[int, ReplicaState] = {}
+
+    # ------------------------------------------------------------------
+    def add_register(self, name: str, writer: int, initial: Any = None) -> None:
+        """Declare an emulated register before replicas start."""
+        if name in self._specs:
+            raise ConfigurationError(f"emulated register {name!r} already exists")
+        if self._states:
+            raise ConfigurationError("cannot add registers after replicas started")
+        self._specs[name] = EmulatedRegisterSpec(name, writer, freeze(initial))
+        self._write_seq[name] = 0
+
+    def register_names(self) -> Tuple[str, ...]:
+        """All declared emulated register names."""
+        return tuple(self._specs)
+
+    def state_of(self, pid: int) -> ReplicaState:
+        """The replica state of ``pid`` (created on first use)."""
+        if pid not in self._states:
+            self._states[pid] = ReplicaState(self._specs)
+        return self._states[pid]
+
+    # ------------------------------------------------------------------
+    # Replica daemon — sole mailbox consumer of its process
+    # ------------------------------------------------------------------
+    def replica_program(self, pid: int) -> Program:
+        """The message-handling daemon every correct process runs."""
+        state = self.state_of(pid)
+        while True:
+            messages = yield ReceiveAll()
+            if not messages:
+                yield Pause()
+                continue
+            for sender, payload in messages:
+                for effect in self._handle(pid, state, sender, payload):
+                    yield effect
+
+    def _handle(
+        self, pid: int, state: ReplicaState, sender: int, payload: Any
+    ) -> List[Any]:
+        """Process one inbound message; returns effects to emit."""
+        out: List[Any] = []
+        if not isinstance(payload, tuple) or not payload:
+            return out
+        kind = payload[0]
+        if kind == "WRITE" and len(payload) == 4:
+            _k, name, seq, value = payload
+            spec = self._specs.get(name)
+            if (
+                spec is not None
+                and sender == spec.writer
+                and isinstance(seq, int)
+                and not isinstance(seq, bool)
+                and seq > 0
+            ):
+                state.maybe_adopt(name, seq, value)
+                key = (name, seq, value)
+                if key not in state.echoed:
+                    state.echoed.add(key)
+                    out.append(Broadcast(("ECHO", name, seq, value)))
+                out.append(Send(spec.writer, ("ACK", name, seq)))
+        elif kind == "ECHO" and len(payload) == 4:
+            _k, name, seq, value = payload
+            if (
+                name in self._specs
+                and isinstance(seq, int)
+                and not isinstance(seq, bool)
+                and seq > 0
+            ):
+                key = (name, seq, value)
+                votes = state.echo_votes.setdefault(key, set())
+                votes.add(sender)
+                if len(votes) >= self.f + 1:
+                    state.maybe_adopt(name, seq, value)
+                    if key not in state.echoed:
+                        state.echoed.add(key)
+                        out.append(Broadcast(("ECHO", name, seq, value)))
+        elif kind == "READ" and len(payload) == 3:
+            _k, name, rid = payload
+            if name in self._specs:
+                seq, value = state.accepted[name]
+                out.append(Send(sender, ("VALUE", name, rid, seq, value)))
+        elif kind == "PULL" and len(payload) == 5:
+            _k, name, seq, value, wb_id = payload
+            if (
+                name in self._specs
+                and isinstance(seq, int)
+                and not isinstance(seq, bool)
+                and isinstance(wb_id, int)
+            ):
+                # Acknowledge only what this replica genuinely holds; a
+                # Byzantine reader cannot make a replica adopt anything
+                # through PULL (adoption still requires the writer or
+                # f + 1 echoes), so write-back is abuse-proof.
+                if state.accepted[name][0] >= seq:
+                    out.append(Send(sender, ("PULL-ACK", name, wb_id)))
+        elif kind == "PULL-ACK" and len(payload) == 3:
+            _k, name, wb_id = payload
+            if name in self._specs and isinstance(wb_id, int):
+                state.acks.setdefault((name, -wb_id), set()).add(sender)
+        elif kind == "ACK" and len(payload) == 3:
+            _k, name, seq = payload
+            if name in self._specs and isinstance(seq, int):
+                state.acks.setdefault((name, seq), set()).add(sender)
+        elif kind == "VALUE" and len(payload) == 5:
+            _k, name, rid, seq, value = payload
+            if (
+                name in self._specs
+                and isinstance(rid, int)
+                and isinstance(seq, int)
+                and not isinstance(seq, bool)
+            ):
+                reports = state.value_reports.setdefault((name, rid), {})
+                reports[sender] = (seq, value)
+        return out
+
+    # ------------------------------------------------------------------
+    # Client operations — broadcast, then poll the shared state
+    # ------------------------------------------------------------------
+    def write(self, pid: int, name: str, value: Any) -> Program:
+        """Emulated ``write(value)``; returns when ``n - f`` replicas acked."""
+        spec = self._specs.get(name)
+        if spec is None:
+            raise ConfigurationError(f"unknown emulated register {name!r}")
+        if spec.writer != pid:
+            raise ConfigurationError(
+                f"p{pid} is not the writer of emulated register {name!r}"
+            )
+        self._write_seq[name] += 1
+        seq = self._write_seq[name]
+        value = freeze(value)
+        state = self.state_of(pid)
+        # The writer is also a replica: adopt and self-ack before sending.
+        state.maybe_adopt(name, seq, value)
+        state.acks.setdefault((name, seq), set()).add(pid)
+        yield Broadcast(("WRITE", name, seq, value))
+        while len(state.acks[(name, seq)]) < self.n - self.f:
+            yield Pause()
+        return "done"
+
+    def read(
+        self,
+        pid: int,
+        name: str,
+        requery_every: int = 64,
+        write_back: bool = False,
+    ) -> Program:
+        """Emulated ``read()``; returns a value confirmed by ``f + 1``.
+
+        Re-broadcasts the query periodically so replies withheld by
+        Byzantine replicas or raced by timing cannot stall it.
+
+        With ``write_back=True`` the reader additionally performs the
+        [11]-style write-back round before returning: it broadcasts a
+        ``PULL`` for the selected pair, replicas already holding it
+        re-echo (their echoes are trustworthy — a Byzantine reader
+        cannot trigger adoption of a value that never had ``f + 1``
+        echoes), and the reader waits until ``n - f`` replicas
+        acknowledge holding at least the selected sequence number. This
+        closes the new/old-inversion window between two non-overlapping
+        reads, strengthening regular semantics toward atomicity.
+        """
+        if name not in self._specs:
+            raise ConfigurationError(f"unknown emulated register {name!r}")
+        self._read_id[pid] = self._read_id.get(pid, 0) + 1
+        rid = self._read_id[pid]
+        state = self.state_of(pid)
+        reports = state.value_reports.setdefault((name, rid), {})
+        reports[pid] = state.accepted[name]
+        yield Broadcast(("READ", name, rid))
+        polls = 0
+        while True:
+            # Refresh own report — the local replica may have adopted a
+            # newer pair since the read began.
+            if state.accepted[name][0] > reports[pid][0]:
+                reports[pid] = state.accepted[name]
+            confirmed = self._best_confirmed(reports)
+            if confirmed is not None:
+                break
+            polls += 1
+            if polls % requery_every == 0:
+                yield Broadcast(("READ", name, rid))
+            yield Pause()
+        seq, value = confirmed
+        if write_back and seq > 0:
+            yield from self._write_back(pid, name, seq, value, requery_every)
+        return value
+
+    def _write_back(
+        self, pid: int, name: str, seq: int, value: Any, requery_every: int
+    ) -> Program:
+        """Propagate ``(seq, value)`` to ``n - f`` replicas before returning."""
+        self._read_id[pid] = self._read_id.get(pid, 0) + 1
+        wb_id = self._read_id[pid]
+        state = self.state_of(pid)
+        acks = state.acks.setdefault((name, -wb_id), set())
+        acks.add(pid)
+        yield Broadcast(("PULL", name, seq, value, wb_id))
+        polls = 0
+        while len(acks) < self.n - self.f:
+            polls += 1
+            if polls % requery_every == 0:
+                yield Broadcast(("PULL", name, seq, value, wb_id))
+            yield Pause()
+
+    def _best_confirmed(
+        self, reports: Dict[int, Tuple[int, Any]]
+    ) -> Optional[Tuple[int, Any]]:
+        """The highest-seq pair reported identically by ``f + 1`` replicas."""
+        tally: Dict[Tuple[int, Any], int] = {}
+        for pair in reports.values():
+            tally[pair] = tally.get(pair, 0) + 1
+        confirmed = [pair for pair, count in tally.items() if count >= self.f + 1]
+        if not confirmed:
+            return None
+        return max(confirmed, key=lambda pair: pair[0])

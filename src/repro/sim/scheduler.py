@@ -1,0 +1,208 @@
+"""Schedulers: who takes the next step.
+
+The asynchronous model of the paper places no constraint on relative
+process speeds, but correctness proofs (termination in particular) assume
+*correct processes take infinitely many steps*. The simulator realizes
+this with pluggable schedulers:
+
+* :class:`RoundRobinScheduler` — strictly fair; every live coroutine takes
+  a step every |coroutines| steps. The termination theorems (43, 112, 179)
+  hold on every round-robin run, so most tests use it.
+* :class:`RandomScheduler` — seeded uniform choice with an enforced
+  starvation bound, giving reproducible "chaotic but fair" interleavings
+  for randomized stress tests and hypothesis properties.
+* :class:`ScriptedScheduler` — an explicit list of coroutine ids. This is
+  how the Theorem 29 / Figure 1 histories place steps at exact virtual
+  times (t1 .. t7) and how regression tests pin down past bugs'
+  interleavings.
+* :class:`PriorityScheduler` — biases some coroutines to run more often
+  (e.g. starving Help daemons to stress the helping mechanism).
+
+A *coroutine id* is a ``(pid, role)`` pair — each process typically runs a
+``"client"`` coroutine (its operations) and a ``"help"`` daemon
+(Section 3.3's steps outside operation intervals).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SchedulerError
+
+#: A coroutine identity: (process id, role name).
+CoroutineId = Tuple[int, str]
+
+
+class Scheduler(ABC):
+    """Strategy deciding which runnable coroutine takes the next step."""
+
+    @abstractmethod
+    def select(self, runnable: Sequence[CoroutineId], clock: int) -> CoroutineId:
+        """Pick one element of ``runnable`` to advance at time ``clock``.
+
+        ``runnable`` is never empty and is presented in a deterministic
+        (sorted) order by the kernel.
+        """
+
+    def describe(self) -> str:
+        """A short human-readable label for reports."""
+        return type(self).__name__
+
+
+class RoundRobinScheduler(Scheduler):
+    """Strictly fair rotation over coroutine ids.
+
+    The rotation order is the sorted order of coroutine ids; coroutines
+    that finish simply drop out. Every live coroutine takes a step at
+    least once per full rotation, which satisfies the fairness premise of
+    all the paper's termination proofs.
+    """
+
+    def __init__(self) -> None:
+        self._last: Optional[CoroutineId] = None
+
+    def select(self, runnable: Sequence[CoroutineId], clock: int) -> CoroutineId:
+        if self._last is None:
+            choice = runnable[0]
+        else:
+            later = [cid for cid in runnable if cid > self._last]
+            choice = later[0] if later else runnable[0]
+        self._last = choice
+        return choice
+
+
+class RandomScheduler(Scheduler):
+    """Seeded random scheduling with a hard starvation bound.
+
+    Pure random choice is fair only with probability 1; a bounded run
+    could in principle starve a coroutine long enough to make a
+    termination test flaky. ``fairness_bound`` closes that hole: any
+    coroutine that has not run for that many *global* steps is scheduled
+    immediately. With the default bound this is rarely triggered and the
+    interleaving stays effectively random.
+    """
+
+    def __init__(self, seed: int = 0, fairness_bound: int = 512):
+        if fairness_bound < 1:
+            raise SchedulerError("fairness_bound must be >= 1")
+        self._rng = random.Random(seed)
+        self._bound = fairness_bound
+        self._last_ran: Dict[CoroutineId, int] = {}
+        self._seed = seed
+
+    def select(self, runnable: Sequence[CoroutineId], clock: int) -> CoroutineId:
+        starving = [
+            cid
+            for cid in runnable
+            if clock - self._last_ran.get(cid, 0) >= self._bound
+        ]
+        if starving:
+            choice = min(starving, key=lambda cid: self._last_ran.get(cid, 0))
+        else:
+            choice = self._rng.choice(list(runnable))
+        self._last_ran[choice] = clock
+        return choice
+
+    def describe(self) -> str:
+        return f"RandomScheduler(seed={self._seed}, bound={self._bound})"
+
+
+class ScriptedScheduler(Scheduler):
+    """Follow an explicit schedule, then fall back to a base scheduler.
+
+    The script is an iterable of coroutine ids. Each entry is consumed in
+    order; if the scripted coroutine is not currently runnable the
+    behaviour is controlled by ``strict``:
+
+    * ``strict=True`` (default) — raise :class:`SchedulerError`; used by
+      the Theorem 29 construction where a missed step would silently
+      invalidate the indistinguishability argument.
+    * ``strict=False`` — skip the entry.
+
+    When the script is exhausted, control passes to ``fallback`` (round
+    robin unless specified), letting attacks drive a precise prefix and
+    then release the system to run freely.
+    """
+
+    def __init__(
+        self,
+        script: Iterable[CoroutineId],
+        fallback: Optional[Scheduler] = None,
+        strict: bool = True,
+    ):
+        self._script: Iterator[CoroutineId] = iter(script)
+        self._fallback = fallback or RoundRobinScheduler()
+        self._strict = strict
+        self._exhausted = False
+
+    def select(self, runnable: Sequence[CoroutineId], clock: int) -> CoroutineId:
+        while not self._exhausted:
+            try:
+                wanted = next(self._script)
+            except StopIteration:
+                self._exhausted = True
+                break
+            if wanted in runnable:
+                return wanted
+            if self._strict:
+                raise SchedulerError(
+                    f"scripted coroutine {wanted!r} not runnable at time "
+                    f"{clock}; runnable = {list(runnable)}"
+                )
+        return self._fallback.select(runnable, clock)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every scripted entry has been consumed."""
+        return self._exhausted
+
+
+class PriorityScheduler(Scheduler):
+    """Weighted random choice, for biased (but still fair) interleavings.
+
+    ``weights`` maps coroutine ids to positive weights; unlisted
+    coroutines get weight 1. A starvation bound keeps runs fair, so a
+    weight of 0.01 on every Help daemon models "helpers are very slow"
+    without ever freezing them — useful for stressing the asker/witness
+    machinery of Algorithms 1–3.
+    """
+
+    def __init__(
+        self,
+        weights: Dict[CoroutineId, float],
+        seed: int = 0,
+        fairness_bound: int = 2048,
+    ):
+        for cid, w in weights.items():
+            if w <= 0:
+                raise SchedulerError(f"weight for {cid!r} must be positive, got {w}")
+        self._weights = dict(weights)
+        self._rng = random.Random(seed)
+        self._bound = fairness_bound
+        self._last_ran: Dict[CoroutineId, int] = {}
+
+    def select(self, runnable: Sequence[CoroutineId], clock: int) -> CoroutineId:
+        starving = [
+            cid
+            for cid in runnable
+            if clock - self._last_ran.get(cid, 0) >= self._bound
+        ]
+        if starving:
+            choice = min(starving, key=lambda cid: self._last_ran.get(cid, 0))
+        else:
+            weights = [self._weights.get(cid, 1.0) for cid in runnable]
+            choice = self._rng.choices(list(runnable), weights=weights, k=1)[0]
+        self._last_ran[choice] = clock
+        return choice
+
+
+def steps(cid: CoroutineId, count: int) -> List[CoroutineId]:
+    """Script helper: ``count`` consecutive steps of ``cid``."""
+    return [cid] * count
+
+
+def interleave(*cids: CoroutineId, rounds: int = 1) -> List[CoroutineId]:
+    """Script helper: ``rounds`` rounds of the given ids in order."""
+    return list(cids) * rounds

@@ -1,0 +1,326 @@
+"""The simulation kernel: effect interpreter, virtual clock, fault bookkeeping.
+
+:class:`System` owns the shared memory (:class:`RegisterFile`), the
+history, the virtual clock, and a set of coroutines. Each call to
+:meth:`System.step`:
+
+1. asks the scheduler to pick one runnable coroutine,
+2. advances the clock,
+3. resumes the coroutine with the result of its previous effect,
+4. executes the newly yielded effect against the shared state.
+
+Because exactly one effect executes per step, every register access is
+atomic and the history's virtual times are a total order of steps — the
+precise setting of Section 3 of the paper.
+
+Fault model bookkeeping: the system tracks which pids are *declared*
+Byzantine. This has **no influence on what those processes may do** — a
+Byzantine process is simply one running an arbitrary program — but it
+lets checkers compute ``H|correct`` and tests assert on the declared
+fault bound ``f``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, SchedulerError, StepLimitExceeded
+from repro.sim.effects import (
+    Annotate,
+    Broadcast,
+    Effect,
+    Invoke,
+    Pause,
+    ReadRegister,
+    ReceiveAll,
+    Respond,
+    Send,
+    WriteRegister,
+)
+from repro.sim.history import Annotation, History
+from repro.sim.process import Program
+from repro.sim.registers import RegisterFile, RegisterSpec
+from repro.sim.scheduler import CoroutineId, RoundRobinScheduler, Scheduler
+
+
+@dataclass
+class _Coroutine:
+    """Kernel-internal state of one spawned program."""
+
+    cid: CoroutineId
+    program: Program
+    started: bool = False
+    finished: bool = False
+    next_send: Any = None
+    steps_taken: int = 0
+    error: Optional[BaseException] = None
+
+
+@dataclass
+class StepMetrics:
+    """Aggregate counters exposed for the analysis layer."""
+
+    total_steps: int = 0
+    reads: int = 0
+    writes: int = 0
+    pauses: int = 0
+    invocations: int = 0
+    responses: int = 0
+    messages_sent: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict copy for report tables."""
+        return {
+            "total_steps": self.total_steps,
+            "reads": self.reads,
+            "writes": self.writes,
+            "pauses": self.pauses,
+            "invocations": self.invocations,
+            "responses": self.responses,
+            "messages_sent": self.messages_sent,
+        }
+
+
+class System:
+    """One simulated asynchronous shared-memory (or message-passing) system.
+
+    Args:
+        n: Number of processes; pids are ``1 .. n`` and pid 1 is the
+            conventional writer in single-writer experiments.
+        f: Declared maximum number of Byzantine processes. Purely
+            bookkeeping (see module docstring); defaults to ``(n-1)//3``.
+        scheduler: Interleaving strategy; round-robin when omitted.
+        record_accesses: Keep a full register access log (slow; debugging).
+        enforce_bound: When True (default), :meth:`declare_byzantine`
+            refuses to exceed ``f`` — experiments that deliberately break
+            the bound pass ``enforce_bound=False``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        f: Optional[int] = None,
+        scheduler: Optional[Scheduler] = None,
+        record_accesses: bool = False,
+        enforce_bound: bool = True,
+    ):
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        self.n = n
+        self.f = (n - 1) // 3 if f is None else f
+        if self.f < 0:
+            raise ConfigurationError(f"f must be >= 0, got {self.f}")
+        self.scheduler: Scheduler = scheduler or RoundRobinScheduler()
+        self.registers = RegisterFile(record_accesses=record_accesses)
+        self.history = History()
+        self.clock = 0
+        self.metrics = StepMetrics()
+        self._coroutines: Dict[CoroutineId, _Coroutine] = {}
+        self._byzantine: set[int] = set()
+        self._enforce_bound = enforce_bound
+        self._mailboxes: Dict[int, List[Tuple[int, Any]]] = {
+            pid: [] for pid in self.pids
+        }
+        #: Message-delivery hook installed by ``repro.mp.network``; None in
+        #: pure shared-memory systems (Send/Broadcast then deliver
+        #: immediately into mailboxes).
+        self.network: Any = None
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def pids(self) -> range:
+        """All process ids, ``1 .. n``."""
+        return range(1, self.n + 1)
+
+    @property
+    def byzantine(self) -> frozenset:
+        """Pids declared Byzantine."""
+        return frozenset(self._byzantine)
+
+    @property
+    def correct(self) -> frozenset:
+        """Pids not declared Byzantine."""
+        return frozenset(set(self.pids) - self._byzantine)
+
+    def declare_byzantine(self, *pids: int) -> None:
+        """Mark processes as Byzantine for bookkeeping purposes."""
+        for pid in pids:
+            if pid not in self.pids:
+                raise ConfigurationError(f"unknown pid {pid}")
+            self._byzantine.add(pid)
+        if self._enforce_bound and len(self._byzantine) > self.f:
+            raise ConfigurationError(
+                f"declared {len(self._byzantine)} Byzantine processes but f={self.f}; "
+                f"pass enforce_bound=False to experiment beyond the bound"
+            )
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def install_register(self, spec: RegisterSpec) -> None:
+        """Install a register into shared memory."""
+        self.registers.install(spec)
+
+    def install_registers(self, specs: Iterable[RegisterSpec]) -> None:
+        """Install every register spec."""
+        self.registers.install_all(specs)
+
+    def spawn(self, pid: int, role: str, program: Program) -> CoroutineId:
+        """Register a coroutine ``(pid, role)`` running ``program``."""
+        if pid not in self.pids:
+            raise ConfigurationError(f"unknown pid {pid}")
+        cid: CoroutineId = (pid, role)
+        if cid in self._coroutines:
+            raise ConfigurationError(f"coroutine {cid!r} already spawned")
+        self._coroutines[cid] = _Coroutine(cid=cid, program=program)
+        return cid
+
+    def despawn(self, cid: CoroutineId) -> None:
+        """Remove a coroutine (e.g. to crash a process mid-run)."""
+        self._coroutines.pop(cid, None)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def runnable(self) -> List[CoroutineId]:
+        """Coroutines that can take a step, in deterministic order."""
+        return sorted(
+            cid for cid, co in self._coroutines.items() if not co.finished
+        )
+
+    def step(self) -> bool:
+        """Advance one coroutine by one effect; False if none runnable."""
+        runnable = self.runnable()
+        if not runnable:
+            return False
+        cid = self.scheduler.select(runnable, self.clock)
+        co = self._coroutines.get(cid)
+        if co is None or co.finished:
+            raise SchedulerError(f"scheduler chose non-runnable coroutine {cid!r}")
+        self.clock += 1
+        self.metrics.total_steps += 1
+        co.steps_taken += 1
+        if self.network is not None:
+            self.network.tick(self.clock, self)
+        try:
+            if not co.started:
+                co.started = True
+                effect = next(co.program)
+            else:
+                effect = co.program.send(co.next_send)
+        except StopIteration:
+            co.finished = True
+            return True
+        co.next_send = self._execute(cid, effect)
+        return True
+
+    def run(self, max_steps: int) -> int:
+        """Take up to ``max_steps`` steps; returns how many were taken."""
+        taken = 0
+        while taken < max_steps and self.step():
+            taken += 1
+        return taken
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        max_steps: int = 200_000,
+        label: str = "goal",
+    ) -> int:
+        """Step until ``predicate()`` holds; raise StepLimitExceeded otherwise.
+
+        The predicate is checked before each step, so a predicate that
+        already holds costs zero steps. Liveness tests rely on the raised
+        :class:`StepLimitExceeded` to flag non-termination.
+        """
+        taken = 0
+        while True:
+            if predicate():
+                return taken
+            if taken >= max_steps:
+                raise StepLimitExceeded(
+                    f"{label} not reached within {max_steps} steps "
+                    f"(clock={self.clock})",
+                    steps=taken,
+                )
+            if not self.step():
+                raise StepLimitExceeded(
+                    f"{label} unreachable: no runnable coroutines left "
+                    f"(clock={self.clock})",
+                    steps=taken,
+                )
+            taken += 1
+
+    def steps_of(self, cid: CoroutineId) -> int:
+        """Steps taken so far by coroutine ``cid`` (0 if never spawned)."""
+        co = self._coroutines.get(cid)
+        return 0 if co is None else co.steps_taken
+
+    # ------------------------------------------------------------------
+    # Effect interpreter
+    # ------------------------------------------------------------------
+    def _execute(self, cid: CoroutineId, effect: Effect) -> Any:
+        pid, _role = cid
+        if isinstance(effect, ReadRegister):
+            self.metrics.reads += 1
+            return self.registers.read(pid, effect.register, self.clock)
+        if isinstance(effect, WriteRegister):
+            self.metrics.writes += 1
+            self.registers.write(pid, effect.register, effect.value, self.clock)
+            return None
+        if isinstance(effect, Pause):
+            self.metrics.pauses += 1
+            return None
+        if isinstance(effect, Invoke):
+            self.metrics.invocations += 1
+            return self.history.record_invocation(
+                pid, effect.obj, effect.op, effect.args, self.clock
+            )
+        if isinstance(effect, Respond):
+            self.metrics.responses += 1
+            self.history.record_response(effect.op_id, effect.result, self.clock)
+            return None
+        if isinstance(effect, Annotate):
+            self.history.record_annotation(
+                Annotation(time=self.clock, pid=pid, label=effect.label,
+                           payload=effect.payload)
+            )
+            return self.clock
+        if isinstance(effect, Send):
+            self.metrics.messages_sent += 1
+            self._send(pid, effect.to, effect.payload)
+            return None
+        if isinstance(effect, Broadcast):
+            for dest in self.pids:
+                self.metrics.messages_sent += 1
+                self._send(pid, dest, effect.payload)
+            return None
+        if isinstance(effect, ReceiveAll):
+            box = self._mailboxes[pid]
+            delivered = tuple(box)
+            box.clear()
+            return delivered
+        raise ConfigurationError(f"unknown effect {effect!r} from {cid!r}")
+
+    def _send(self, sender: int, dest: int, payload: Any) -> None:
+        if dest not in self.pids:
+            raise ConfigurationError(f"send to unknown pid {dest}")
+        if self.network is not None:
+            self.network.submit(sender, dest, payload, self.clock)
+        else:
+            self._mailboxes[dest].append((sender, payload))
+
+    def deliver(self, sender: int, dest: int, payload: Any) -> None:
+        """Place a message into ``dest``'s mailbox (network layer hook)."""
+        self._mailboxes[dest].append((sender, payload))
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line summary for logs and benchmark labels."""
+        return (
+            f"System(n={self.n}, f={self.f}, byz={sorted(self._byzantine)}, "
+            f"clock={self.clock}, sched={self.scheduler.describe()})"
+        )

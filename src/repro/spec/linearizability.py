@@ -1,0 +1,168 @@
+"""Linearizability checking (Herlihy & Wing; Definitions 2–5).
+
+The checker answers: *is there a completion of the history and a
+permutation of its operations that (a) respects real-time precedence and
+(b) replays through the sequential spec with matching responses?* It uses
+the classic Wing–Gong search: build the linearization left to right,
+always appending an operation none of whose (real-time) predecessors is
+still pending, and memoize failed ``(linearized-set, state)`` pairs.
+
+Incomplete operations (invocation without response — Definition 2) may be
+either dropped or linearized with *any* spec-produced response; the
+search explores both.
+
+Complexity is exponential in the width of concurrency, which is fine for
+the histories this library produces (tens of operations, bounded overlap).
+The memoization makes sequential-heavy histories linear-time in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import LinearizabilityViolation
+from repro.sim.history import History, OperationRecord
+from repro.spec.sequential import SequentialSpec
+
+
+@dataclass
+class LinearizationResult:
+    """Outcome of a linearizability check.
+
+    Attributes:
+        ok: Whether a valid linearization exists.
+        order: Witness linearization as a list of operation ids (only the
+            operations that were *kept*: dropped incomplete operations are
+            absent), or None when not linearizable.
+        explored: Number of search nodes expanded (diagnostics).
+        reason: Human-readable failure summary when ``ok`` is False.
+    """
+
+    ok: bool
+    order: Optional[List[int]] = None
+    explored: int = 0
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def find_linearization(
+    records: Sequence[OperationRecord],
+    spec: SequentialSpec,
+    max_nodes: int = 2_000_000,
+) -> LinearizationResult:
+    """Search for a linearization of ``records`` against ``spec``.
+
+    Args:
+        records: The operations of one object (complete and incomplete).
+        spec: The object's sequential specification.
+        max_nodes: Search budget; exceeding it raises
+            :class:`LinearizabilityViolation` (so a silent wrong verdict
+            is impossible — budget exhaustion is loud).
+    """
+    complete = [r for r in records if r.complete]
+    incomplete = [r for r in records if not r.complete]
+    all_ids = [r.op_id for r in records]
+    by_id = {r.op_id: r for r in records}
+
+    # Precompute, for each op, the set of *complete* ops preceding it: an
+    # op may be appended only when all of its predecessors already were.
+    predecessors: Dict[int, frozenset] = {}
+    for r in records:
+        preds = frozenset(
+            other.op_id for other in complete if other.precedes(r)
+        )
+        predecessors[r.op_id] = preds
+
+    target = frozenset(r.op_id for r in complete)
+    failed: Set[Tuple[frozenset, Hashable]] = set()
+    explored = 0
+
+    def search(
+        done: frozenset, state: Hashable, order: List[int]
+    ) -> Optional[List[int]]:
+        nonlocal explored
+        if target <= done:
+            return list(order)
+        key = (done, state)
+        if key in failed:
+            return None
+        explored += 1
+        if explored > max_nodes:
+            raise LinearizabilityViolation(
+                f"linearizability search exceeded {max_nodes} nodes; "
+                f"history too concurrent for the budget"
+            )
+        for op_id in all_ids:
+            if op_id in done:
+                continue
+            record = by_id[op_id]
+            if not predecessors[op_id] <= done:
+                continue
+            try:
+                next_state, response = spec.apply(state, record.op, record.args)
+            except ValueError:
+                continue  # op not applicable -> cannot appear here
+            if record.complete and response != record.result:
+                continue
+            order.append(op_id)
+            outcome = search(done | {op_id}, next_state, order)
+            if outcome is not None:
+                return outcome
+            order.pop()
+        failed.add(key)
+        return None
+
+    witness = search(frozenset(), spec.initial_state(), [])
+    if witness is None:
+        return LinearizationResult(
+            ok=False,
+            explored=explored,
+            reason=_failure_summary(records, spec),
+        )
+    return LinearizationResult(ok=True, order=witness, explored=explored)
+
+
+def check_linearizable(
+    history: History,
+    spec: SequentialSpec,
+    obj: Optional[str] = None,
+    max_nodes: int = 2_000_000,
+) -> LinearizationResult:
+    """Check one object's operations in ``history`` against ``spec``.
+
+    ``obj`` filters the history to a single implemented object; None uses
+    every record (valid only for single-object histories).
+    """
+    records = history.operations(obj=obj)
+    return find_linearization(records, spec, max_nodes=max_nodes)
+
+
+def assert_linearizable(
+    history: History,
+    spec: SequentialSpec,
+    obj: Optional[str] = None,
+) -> List[int]:
+    """Like :func:`check_linearizable` but raising on failure.
+
+    Returns the witness order for convenience in tests.
+    """
+    result = check_linearizable(history, spec, obj=obj)
+    if not result.ok:
+        raise LinearizabilityViolation(
+            f"history of {obj or '<all>'} is not linearizable against "
+            f"{spec.describe()}:\n{result.reason}"
+        )
+    assert result.order is not None
+    return result.order
+
+
+def _failure_summary(
+    records: Sequence[OperationRecord], spec: SequentialSpec
+) -> str:
+    lines = [f"no linearization against {spec.describe()} for:"]
+    for record in sorted(records, key=lambda r: r.invoked_at):
+        lines.append("  " + record.describe())
+    return "\n".join(lines)

@@ -1,0 +1,190 @@
+"""Sequential specifications of the paper's object types.
+
+A *sequential specification* (the "type" of Section 3.2, footnote 4)
+defines, for each state and operation, the legal response and successor
+state. These specs drive the linearizability checker: a history is
+linearizable iff some precedence-respecting permutation of its operations
+replays through the spec with matching responses.
+
+Specs implemented:
+
+* :class:`RegularRegisterSpec` — a plain SWMR atomic register.
+* :class:`VerifiableRegisterSpec` — Definition 10.
+* :class:`AuthenticatedRegisterSpec` — Definition 15.
+* :class:`StickyRegisterSpec` — Definition 21.
+* :class:`TestOrSetSpec` — Definition 26.
+
+All states are immutable (hashable) so the checker can memoize on
+``(linearized-set, state)`` pairs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Hashable, Tuple
+
+from repro.sim.values import BOTTOM, freeze, is_bottom
+
+#: Response constants shared with the implementations.
+DONE = "done"
+SUCCESS = "success"
+FAIL = "fail"
+
+
+class SequentialSpec(ABC):
+    """Interface of a deterministic sequential object specification."""
+
+    @abstractmethod
+    def initial_state(self) -> Hashable:
+        """The object's initial state."""
+
+    @abstractmethod
+    def apply(
+        self, state: Hashable, op: str, args: Tuple[Any, ...]
+    ) -> Tuple[Hashable, Any]:
+        """Apply ``op(args)`` in ``state``; return ``(next_state, response)``.
+
+        Raises ``ValueError`` for unknown operations (a malformed
+        history, not a legal Byzantine behaviour — Byzantine processes
+        may only apply operations allowed by the type; Section 3.2).
+        """
+
+    def describe(self) -> str:
+        """Short label for diagnostics."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class RegularRegisterSpec(SequentialSpec):
+    """Plain SWMR atomic register: ``write(v) -> done``, ``read -> last v``."""
+
+    initial: Any = None
+
+    def initial_state(self) -> Hashable:
+        return freeze(self.initial)
+
+    def apply(self, state, op, args):
+        if op == "write":
+            (value,) = args
+            return freeze(value), DONE
+        if op == "read":
+            return state, state
+        raise ValueError(f"regular register has no operation {op!r}")
+
+
+@dataclass(frozen=True)
+class VerifiableRegisterSpec(SequentialSpec):
+    """Definition 10: Write/Read plus Sign/Verify.
+
+    State is ``(current, written, signed)``:
+
+    * ``write(v)``  -> ``done``; current := v; written ∪= {v}
+    * ``read()``    -> current
+    * ``sign(v)``   -> ``success`` iff v ∈ written (then signed ∪= {v}),
+      else ``fail``
+    * ``verify(v)`` -> ``true`` iff v ∈ signed
+    """
+
+    initial: Any = None
+
+    def initial_state(self) -> Hashable:
+        return (freeze(self.initial), frozenset(), frozenset())
+
+    def apply(self, state, op, args):
+        current, written, signed = state
+        if op == "write":
+            (value,) = args
+            value = freeze(value)
+            return (value, written | {value}, signed), DONE
+        if op == "read":
+            return state, current
+        if op == "sign":
+            (value,) = args
+            value = freeze(value)
+            if value in written:
+                return (current, written, signed | {value}), SUCCESS
+            return state, FAIL
+        if op == "verify":
+            (value,) = args
+            return state, freeze(value) in signed
+        raise ValueError(f"verifiable register has no operation {op!r}")
+
+
+@dataclass(frozen=True)
+class AuthenticatedRegisterSpec(SequentialSpec):
+    """Definition 15: every written value is atomically signed.
+
+    State is ``(current, written)``:
+
+    * ``write(v)``  -> ``done``; current := v; written ∪= {v}
+    * ``read()``    -> current
+    * ``verify(v)`` -> ``true`` iff v ∈ written or v = v0
+    """
+
+    initial: Any = None
+
+    def initial_state(self) -> Hashable:
+        return (freeze(self.initial), frozenset())
+
+    def apply(self, state, op, args):
+        current, written = state
+        if op == "write":
+            (value,) = args
+            value = freeze(value)
+            return (value, written | {value}), DONE
+        if op == "read":
+            return state, current
+        if op == "verify":
+            (value,) = args
+            value = freeze(value)
+            return state, value in written or value == freeze(self.initial)
+        raise ValueError(f"authenticated register has no operation {op!r}")
+
+
+@dataclass(frozen=True)
+class StickyRegisterSpec(SequentialSpec):
+    """Definition 21: the first written value sticks forever.
+
+    State is the stored value (``⊥`` before any write):
+
+    * ``write(v)`` -> ``done``; state := v only if state is still ``⊥``
+    * ``read()``   -> state (``⊥`` if nothing written)
+    """
+
+    def initial_state(self) -> Hashable:
+        return BOTTOM
+
+    def apply(self, state, op, args):
+        if op == "write":
+            (value,) = args
+            value = freeze(value)
+            if is_bottom(value):
+                raise ValueError("⊥ cannot be written to a sticky register")
+            if is_bottom(state):
+                return value, DONE
+            return state, DONE
+        if op == "read":
+            return state, state
+        raise ValueError(f"sticky register has no operation {op!r}")
+
+
+@dataclass(frozen=True)
+class TestOrSetSpec(SequentialSpec):
+    """Definition 26: settable-once flag, testable by anyone.
+
+    State is 0 or 1: ``set -> done`` (state := 1); ``test -> state``.
+    """
+
+    #: Not a pytest test class despite the name.
+    __test__ = False
+
+    def initial_state(self) -> Hashable:
+        return 0
+
+    def apply(self, state, op, args):
+        if op == "set":
+            return 1, DONE
+        if op == "test":
+            return state, state
+        raise ValueError(f"test-or-set has no operation {op!r}")

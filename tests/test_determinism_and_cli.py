@@ -1,0 +1,80 @@
+"""Determinism guarantees and the command-line experiment runner.
+
+Reproducibility is a design pillar (DESIGN.md §3): identical seeds must
+give bit-identical histories, or failure coordinates printed by the
+harness would be useless. These tests pin that contract, plus the
+``python -m repro.analysis`` entry point.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import run_register_scenario
+from repro.analysis.__main__ import ALL_IDS, main
+
+
+class TestDeterminism:
+    @given(
+        kind=st.sampled_from(["verifiable", "authenticated", "sticky"]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_identical_seeds_identical_histories(self, kind, seed):
+        first = run_register_scenario(kind, n=4, seed=seed)
+        second = run_register_scenario(kind, n=4, seed=seed)
+        assert (
+            first.system.history.describe() == second.system.history.describe()
+        )
+        assert first.system.clock == second.system.clock
+        assert first.steps == second.steps
+
+    def test_different_seeds_differ(self):
+        a = run_register_scenario("verifiable", n=4, seed=0)
+        b = run_register_scenario("verifiable", n=4, seed=1)
+        assert a.system.history.describe() != b.system.history.describe()
+
+    def test_adversarial_runs_deterministic(self):
+        a = run_register_scenario(
+            "verifiable", n=4, seed=5, writer_adversary="deny"
+        )
+        b = run_register_scenario(
+            "verifiable", n=4, seed=5, writer_adversary="deny"
+        )
+        assert a.system.history.describe() == b.system.history.describe()
+
+    def test_theorem29_deterministic(self):
+        from repro.adversary import run_figure1
+
+        first = run_figure1(f=1)
+        second = run_figure1(f=1)
+        assert first.describe() == second.describe()
+
+
+class TestCommandLine:
+    def test_known_ids_registered(self):
+        from repro.analysis.__main__ import _runner
+
+        for exp_id in ALL_IDS:
+            assert _runner(exp_id) is not None, exp_id
+
+    def test_unknown_id_rejected(self, capsys):
+        assert main(["E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_subset_run_passes(self, capsys):
+        # E12 is the fastest experiment; it must PASS through the CLI.
+        assert main(["E12"]) == 0
+        out = capsys.readouterr().out
+        assert "[E12] PASS" in out
+        assert "reproduce their expected shapes" in out
+
+    def test_e11_cli_shape(self, capsys):
+        assert main(["E11"]) == 0
+        out = capsys.readouterr().out
+        assert "[E11] PASS" in out
+
+    def test_lower_case_accepted(self, capsys):
+        assert main(["e12"]) == 0

@@ -1,0 +1,193 @@
+"""Cross-cutting integration tests: crashes mid-operation, coexisting
+register instances, incomplete operations through the checkers, and the
+access-log instrumentation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AuthenticatedRegister, StickyRegister, VerifiableRegister
+from repro.sim import RandomScheduler, System
+from repro.spec import (
+    check_authenticated,
+    check_sticky,
+    check_verifiable,
+    check_verifiable_properties,
+)
+from tests.conftest import run_clients, spawn_script
+
+
+class TestCrashMidOperation:
+    def test_reader_crash_leaves_incomplete_op(self):
+        system = System(n=4)
+        register = VerifiableRegister(system, "v", initial=0)
+        register.install()
+        register.start_helpers()
+        writer = spawn_script(system, register, 1, [("write", (5,)), ("sign", (5,))])
+        run_clients(system, [writer])
+        # Reader 2 starts a verify, then crashes mid-flight.
+        crasher = spawn_script(system, register, 2, [("verify", (5,))])
+        system.run(25)
+        system.despawn((2, "client"))
+        incomplete = system.history.incomplete_operations()
+        assert len(incomplete) == 1
+        assert incomplete[0].op == "verify"
+        # The remaining correct reader is unaffected.
+        reader = spawn_script(system, register, 3, [("verify", (5,))])
+        run_clients(system, [reader])
+        assert reader.result_of("verify") is True
+
+    def test_checker_handles_incomplete_operations(self):
+        system = System(n=4)
+        register = VerifiableRegister(system, "v", initial=0)
+        register.install()
+        register.start_helpers()
+        writer = spawn_script(system, register, 1, [("write", (5,)), ("sign", (5,))])
+        run_clients(system, [writer])
+        crasher = spawn_script(system, register, 2, [("verify", (5,))])
+        system.run(25)
+        system.despawn((2, "client"))
+        reader = spawn_script(system, register, 3, [("verify", (5,))])
+        run_clients(system, [reader])
+        verdict = check_verifiable(
+            system.history, system.correct, "v", writer=1, initial=0
+        )
+        assert verdict.ok, verdict.reason
+
+    def test_checker_handles_incomplete_with_byzantine_writer(self):
+        # The Definition 78 construction must tolerate a crashed
+        # reader's pending operation in H|correct.
+        system = System(n=4)
+        register = VerifiableRegister(system, "v", initial=0)
+        register.install()
+        system.declare_byzantine(1)
+        register.start_helpers(sorted(system.correct))
+        from repro.adversary import behaviors
+
+        system.spawn(
+            1, "client", behaviors.denying_writer_verifiable(register, 7, 200)
+        )
+        crasher = spawn_script(system, register, 2, [("verify", (7,))], delay=40)
+        system.run(90)
+        system.despawn((2, "client"))
+        reader = spawn_script(system, register, 3, [("verify", (7,))], delay=100)
+        run_clients(system, [reader])
+        verdict = check_verifiable(
+            system.history, system.correct, "v", writer=1, initial=0
+        )
+        assert verdict.ok, verdict.reason
+
+
+class TestCoexistingInstances:
+    def test_three_register_kinds_in_one_system(self):
+        system = System(n=4, scheduler=RandomScheduler(seed=3))
+        vreg = VerifiableRegister(system, "v", initial=0)
+        areg = AuthenticatedRegister(system, "a", initial=0)
+        sreg = StickyRegister(system, "s")
+        for register in (vreg, areg, sreg):
+            register.install()
+            register.start_helpers()
+
+        writer = spawn_script(system, vreg, 1, [("write", (1,)), ("sign", (1,))])
+        writer2 = spawn_script(
+            system, areg, 1, [("write", (2,))], role="client-a"
+        )
+        writer3 = spawn_script(
+            system, sreg, 1, [("write", (3,))], role="client-s"
+        )
+        readers = [
+            spawn_script(system, vreg, 2, [("verify", (1,))], delay=50),
+            spawn_script(system, areg, 3, [("read", ())], delay=50, role="r-a"),
+            spawn_script(system, sreg, 4, [("read", ())], delay=150, role="r-s"),
+        ]
+        run_clients(system, [writer, writer2, writer3, *readers])
+        assert readers[0].result_of("verify") is True
+        assert readers[1].result_of("read") == 2
+        assert readers[2].result_of("read") == 3
+
+        # Each object's history checks independently.
+        assert check_verifiable(
+            system.history, system.correct, "v", writer=1, initial=0
+        ).ok
+        assert check_authenticated(
+            system.history, system.correct, "a", writer=1, initial=0
+        ).ok
+        assert check_sticky(system.history, system.correct, "s", writer=1).ok
+
+    def test_two_instances_same_kind_isolated(self):
+        system = System(n=4)
+        first = VerifiableRegister(system, "first", initial=0)
+        second = VerifiableRegister(system, "second", initial=0)
+        first.install()
+        second.install()
+        first.start_helpers()
+        second.start_helpers()
+        w1 = spawn_script(system, first, 1, [("write", (11,)), ("sign", (11,))])
+        w2 = spawn_script(
+            system, second, 1, [("write", (22,))], role="client-2"
+        )
+        reader = spawn_script(
+            system, first, 2, [("verify", (11,)), ("verify", (22,))], delay=60
+        )
+        reader2 = spawn_script(
+            system, second, 3, [("read", ())], delay=60, role="r-2"
+        )
+        run_clients(system, [w1, w2, reader, reader2])
+        assert reader.result_of("verify", 0) is True
+        assert reader.result_of("verify", 1) is False  # no bleed-through
+        assert reader2.result_of("read") == 22
+
+
+class TestInstrumentation:
+    def test_access_log_records_full_trace(self):
+        system = System(n=4, record_accesses=True)
+        register = VerifiableRegister(system, "v", initial=0)
+        register.install()
+        register.start_helpers()
+        writer = spawn_script(system, register, 1, [("write", (5,))])
+        run_clients(system, [writer])
+        log = system.registers.access_log
+        assert any(
+            entry.kind == "write" and entry.register == register.reg_star()
+            for entry in log
+        )
+        # Times are strictly within the run's clock span.
+        assert all(0 < entry.time <= system.clock for entry in log)
+
+    def test_register_level_counters(self):
+        system = System(n=4)
+        register = VerifiableRegister(system, "v", initial=0)
+        register.install()
+        register.start_helpers()
+        writer = spawn_script(system, register, 1, [("write", (5,))])
+        reader = spawn_script(system, register, 2, [("read", ())], delay=20)
+        run_clients(system, [writer, reader])
+        assert system.registers.write_count(register.reg_star()) == 1
+        assert system.registers.read_count(register.reg_star()) >= 1
+
+
+class TestFZeroSystems:
+    """n = 3, f = 0: the algorithms degenerate gracefully."""
+
+    def test_verifiable_without_faults(self):
+        system = System(n=3, f=0)
+        register = VerifiableRegister(system, "v", initial=0, f=0)
+        register.install()
+        register.start_helpers()
+        writer = spawn_script(system, register, 1, [("write", (9,)), ("sign", (9,))])
+        reader = spawn_script(
+            system, register, 2, [("verify", (9,)), ("read", ())], delay=30
+        )
+        run_clients(system, [writer, reader])
+        assert reader.result_of("verify") is True
+        assert reader.result_of("read") == 9
+
+    def test_sticky_without_faults(self):
+        system = System(n=3, f=0)
+        register = StickyRegister(system, "s", f=0)
+        register.install()
+        register.start_helpers()
+        writer = spawn_script(system, register, 1, [("write", ("x",))])
+        reader = spawn_script(system, register, 3, [("read", ())], delay=60)
+        run_clients(system, [writer, reader])
+        assert reader.result_of("read") == "x"

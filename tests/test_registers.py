@@ -1,0 +1,128 @@
+"""Unit tests for the shared-memory register file (repro.sim.registers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    OwnershipError,
+    ReadPermissionError,
+    UnknownRegisterError,
+)
+from repro.sim.registers import RegisterFile, RegisterSpec, swmr, swsr
+
+
+@pytest.fixture
+def memory() -> RegisterFile:
+    file = RegisterFile()
+    file.install(swmr("A", writer=1, initial=0))
+    file.install(swsr("B", writer=2, reader=3, initial=(frozenset(), 0)))
+    return file
+
+
+class TestInstallation:
+    def test_duplicate_name_rejected(self, memory):
+        with pytest.raises(ConfigurationError):
+            memory.install(swmr("A", writer=2))
+
+    def test_names_in_order(self, memory):
+        assert memory.names() == ("A", "B")
+
+    def test_initial_value_frozen(self):
+        file = RegisterFile()
+        file.install(swmr("S", writer=1, initial={1, 2}))
+        assert file.peek("S") == frozenset({1, 2})
+
+    def test_install_all(self):
+        file = RegisterFile()
+        file.install_all([swmr("X", 1), swmr("Y", 2)])
+        assert file.has("X") and file.has("Y")
+
+
+class TestOwnership:
+    def test_owner_may_write(self, memory):
+        memory.write(1, "A", 7, time=1)
+        assert memory.peek("A") == 7
+
+    def test_non_owner_write_raises(self, memory):
+        with pytest.raises(OwnershipError):
+            memory.write(2, "A", 7, time=1)
+
+    def test_byzantine_cannot_bypass_port(self, memory):
+        # The check is identity-based with no escape hatch: any pid other
+        # than the owner is rejected, which is the paper's hardware port.
+        for pid in (2, 3, 4, 99):
+            with pytest.raises(OwnershipError):
+                memory.write(pid, "A", "forged", time=1)
+
+    def test_swsr_reader_restriction(self, memory):
+        assert memory.read(3, "B", time=1) == (frozenset(), 0)
+        with pytest.raises(ReadPermissionError):
+            memory.read(4, "B", time=1)
+        with pytest.raises(ReadPermissionError):
+            memory.read(1, "B", time=1)
+
+    def test_swmr_readable_by_anyone(self, memory):
+        for pid in (1, 2, 3, 42):
+            assert memory.read(pid, "A", time=1) == 0
+
+
+class TestAtomicSnapshotSemantics:
+    def test_read_returns_latest_write(self, memory):
+        memory.write(1, "A", 1, time=1)
+        memory.write(1, "A", 2, time=2)
+        assert memory.read(9, "A", time=3) == 2
+
+    def test_written_value_frozen(self, memory):
+        source = {1}
+        memory.write(1, "A", source, time=1)
+        source.add(2)
+        assert memory.read(5, "A", time=2) == frozenset({1})
+
+    def test_unknown_register(self, memory):
+        with pytest.raises(UnknownRegisterError):
+            memory.read(1, "nope", time=1)
+        with pytest.raises(UnknownRegisterError):
+            memory.write(1, "nope", 0, time=1)
+
+    def test_reset_to_initial(self, memory):
+        memory.write(1, "A", 9, time=1)
+        memory.reset_to_initial("A")
+        assert memory.peek("A") == 0
+
+
+class TestMetrics:
+    def test_counts(self, memory):
+        memory.write(1, "A", 1, time=1)
+        memory.read(2, "A", time=2)
+        memory.read(3, "A", time=3)
+        assert memory.write_count("A") == 1
+        assert memory.read_count("A") == 2
+        assert memory.total_accesses() == 3
+
+    def test_access_log_disabled_by_default(self, memory):
+        memory.write(1, "A", 1, time=1)
+        assert memory.access_log == ()
+
+    def test_access_log_enabled(self):
+        file = RegisterFile(record_accesses=True)
+        file.install(swmr("A", writer=1, initial=0))
+        file.write(1, "A", 5, time=10)
+        file.read(2, "A", time=11)
+        log = file.access_log
+        assert len(log) == 2
+        assert log[0].kind == "write" and log[0].value == 5 and log[0].time == 10
+        assert log[1].kind == "read" and log[1].pid == 2
+
+
+class TestSpecHelpers:
+    def test_swmr_spec(self):
+        spec = swmr("R", writer=3, initial="x")
+        assert spec.readers is None
+        assert spec.readable_by(1) and spec.readable_by(99)
+
+    def test_swsr_spec(self):
+        spec = swsr("R", writer=3, reader=5)
+        assert spec.readable_by(5)
+        assert not spec.readable_by(3)

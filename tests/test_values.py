@@ -1,0 +1,174 @@
+"""Unit and property tests for register value handling (repro.sim.values)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FrozenValueError
+from repro.sim.values import (
+    BOTTOM,
+    FrozenDict,
+    freeze,
+    is_bottom,
+    stable_key,
+)
+
+
+class TestBottom:
+    def test_singleton(self):
+        from repro.sim.values import _BottomType
+
+        assert _BottomType() is BOTTOM
+
+    def test_falsy(self):
+        assert not BOTTOM
+
+    def test_repr(self):
+        assert repr(BOTTOM) == "⊥"
+
+    def test_equality_only_with_itself(self):
+        assert BOTTOM == BOTTOM
+        assert BOTTOM != 0
+        assert BOTTOM != None  # noqa: E711 — deliberate: ⊥ is not None
+        assert BOTTOM != ""
+        assert BOTTOM != frozenset()
+
+    def test_hashable_and_stable(self):
+        assert hash(BOTTOM) == hash(BOTTOM)
+        assert BOTTOM in {BOTTOM}
+
+    def test_is_bottom(self):
+        assert is_bottom(BOTTOM)
+        assert not is_bottom(None)
+        assert not is_bottom(0)
+
+    def test_freeze_preserves_identity(self):
+        assert freeze(BOTTOM) is BOTTOM
+
+
+class TestFreeze:
+    def test_scalars_unchanged(self):
+        for value in (1, -3, 2.5, "s", b"b", True, None):
+            assert freeze(value) == value
+
+    def test_set_becomes_frozenset(self):
+        frozen = freeze({1, 2})
+        assert isinstance(frozen, frozenset)
+        assert frozen == frozenset({1, 2})
+
+    def test_list_becomes_tuple(self):
+        assert freeze([1, 2]) == (1, 2)
+        assert isinstance(freeze([1, 2]), tuple)
+
+    def test_nested_structures(self):
+        frozen = freeze([("a", [1, 2])])
+        assert frozen == (("a", (1, 2)),)
+        assert freeze({("a", (1, 2))}) == frozenset({("a", (1, 2))})
+
+    def test_dict_becomes_frozendict(self):
+        frozen = freeze({"k": [1]})
+        assert isinstance(frozen, FrozenDict)
+        assert frozen["k"] == (1,)
+
+    def test_unfreezable_raises(self):
+        class Mutable:
+            __hash__ = None  # explicitly unhashable
+
+        with pytest.raises(FrozenValueError):
+            freeze(Mutable())
+
+    def test_mutating_source_does_not_affect_frozen(self):
+        source = {1, 2}
+        frozen = freeze(source)
+        source.add(3)
+        assert frozen == frozenset({1, 2})
+
+    def test_idempotent(self):
+        once = freeze({1, (2, 3)})
+        assert freeze(once) == once
+
+
+class TestFrozenDict:
+    def test_mapping_protocol(self):
+        fd = FrozenDict({"a": 1, "b": 2})
+        assert fd["a"] == 1
+        assert len(fd) == 2
+        assert set(fd) == {"a", "b"}
+
+    def test_hashable_and_equal(self):
+        assert hash(FrozenDict(a=1)) == hash(FrozenDict(a=1))
+        assert FrozenDict(a=1) == FrozenDict(a=1)
+        assert FrozenDict(a=1) != FrozenDict(a=2)
+
+    def test_equality_with_plain_dict(self):
+        assert FrozenDict(a=1) == {"a": 1}
+
+    def test_set_returns_new(self):
+        original = FrozenDict(a=1)
+        updated = original.set("b", 2)
+        assert "b" not in original
+        assert updated["b"] == 2
+
+    def test_values_frozen_on_construction(self):
+        fd = FrozenDict(items=[1, 2])
+        assert fd["items"] == (1, 2)
+
+
+class TestStableKey:
+    def test_total_order_across_types(self):
+        values = [1, "1", (1,), frozenset({1}), None, BOTTOM]
+        ordered = sorted(values, key=stable_key)
+        assert sorted(ordered, key=stable_key) == ordered
+
+    def test_consistent_for_equal_values(self):
+        assert stable_key(5) == stable_key(5)
+        assert stable_key("x") == stable_key("x")
+
+    def test_discriminates_type(self):
+        assert stable_key(1) != stable_key("1")
+
+
+# ----------------------------------------------------------------------
+# Property-based coverage
+# ----------------------------------------------------------------------
+freezable = st.recursive(
+    st.one_of(
+        st.integers(),
+        st.text(max_size=8),
+        st.booleans(),
+        st.none(),
+        st.just(BOTTOM),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.frozensets(
+            children.filter(lambda v: not isinstance(v, list)), max_size=4
+        ),
+    ),
+    max_leaves=12,
+)
+
+
+@given(freezable)
+@settings(max_examples=150)
+def test_freeze_always_hashable(value):
+    """Every frozen value must be usable as a register snapshot (hashable)."""
+    hash(freeze(value))
+
+
+@given(freezable)
+@settings(max_examples=150)
+def test_freeze_idempotent_property(value):
+    frozen = freeze(value)
+    assert freeze(frozen) == frozen
+
+
+@given(st.lists(freezable, max_size=8))
+@settings(max_examples=100)
+def test_stable_key_sorts_any_mix(values):
+    """stable_key must induce a total order on arbitrary frozen values."""
+    frozen = [freeze(v) for v in values]
+    ordered = sorted(frozen, key=stable_key)
+    assert sorted(ordered, key=stable_key) == ordered
