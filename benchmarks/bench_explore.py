@@ -1,0 +1,119 @@
+"""E13 — schedule-space exploration throughput (repro.explore).
+
+Measures the two exploration engines on the Theorem 29 scenario:
+
+* systematic bounded search — states fingerprinted per second and runs
+  per second, with the pruning counters that explain the tree size;
+* swarm fuzzing — runs per second, single process versus a
+  multiprocessing shard pool (the sharded campaign must win on
+  multi-core hosts; on single-core CI runners the comparison is
+  recorded but not asserted).
+
+Both engines must also reproduce the qualitative Theorem 29 shape
+inside the benchmark: a violation at ``n = 3f``, none at ``n = 3f + 1``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import emit
+
+from repro.explore import default_shards, explore, fuzz, make_scenario
+
+#: Runs per engine; enough to amortize the shard pool's fork cost.
+BUDGET = 400
+
+
+def run_e13():
+    scenario = make_scenario("theorem29", f=1)
+    control = make_scenario("theorem29", f=1, extra_correct=True)
+
+    systematic = explore(scenario, depth_bound=14, preemption_bound=2, budget=BUDGET)
+    systematic_control = explore(
+        control, depth_bound=14, preemption_bound=2, budget=BUDGET
+    )
+    single = fuzz(scenario, budget=BUDGET, shards=1)
+    sharded = fuzz(scenario, budget=BUDGET, shards=max(2, default_shards()))
+    control_fuzz = fuzz(control, budget=BUDGET, shards=1)
+
+    headers = (
+        "engine",
+        "scenario",
+        "runs",
+        "runs/s",
+        "states/s",
+        "violations",
+    )
+    rows = [
+        (
+            "systematic/dfs",
+            "n=3f",
+            systematic.runs,
+            round(systematic.runs_per_sec, 1),
+            round(systematic.states_per_sec, 1),
+            len(systematic.violations),
+        ),
+        (
+            "systematic/dfs",
+            "n=3f+1",
+            systematic_control.runs,
+            round(systematic_control.runs_per_sec, 1),
+            round(systematic_control.states_per_sec, 1),
+            len(systematic_control.violations),
+        ),
+        (
+            "swarm x1",
+            "n=3f",
+            single.runs,
+            round(single.runs_per_sec, 1),
+            "-",
+            len(single.violations),
+        ),
+        (
+            f"swarm x{sharded.shards}",
+            "n=3f",
+            sharded.runs,
+            round(sharded.runs_per_sec, 1),
+            "-",
+            len(sharded.violations),
+        ),
+        (
+            "swarm x1",
+            "n=3f+1",
+            control_fuzz.runs,
+            round(control_fuzz.runs_per_sec, 1),
+            "-",
+            len(control_fuzz.violations),
+        ),
+    ]
+    reports = {
+        "systematic": systematic,
+        "systematic_control": systematic_control,
+        "single": single,
+        "sharded": sharded,
+        "control_fuzz": control_fuzz,
+    }
+    return headers, rows, reports
+
+
+def test_e13_exploration_throughput(benchmark):
+    headers, rows, reports = benchmark.pedantic(run_e13, rounds=1, iterations=1)
+    emit(
+        "E13_explore",
+        headers,
+        rows,
+        "E13 — schedule exploration throughput",
+    )
+    # Qualitative shape: Theorem 29 reproduces through both engines.
+    assert reports["systematic"].violations, "systematic search missed the n=3f bug"
+    assert reports["single"].violations, "swarm missed the n=3f bug"
+    assert not reports["systematic_control"].violations, "control must be clean"
+    assert not reports["control_fuzz"].violations, "control must be clean"
+    # Throughput: measured everywhere, asserted only with real parallelism.
+    assert reports["systematic"].states_per_sec > 0
+    assert reports["single"].runs_per_sec > 0
+    if (os.cpu_count() or 1) >= 2:
+        assert (
+            reports["sharded"].runs_per_sec > reports["single"].runs_per_sec
+        ), "multiprocessing shards should beat single-process throughput"

@@ -11,7 +11,6 @@ tables inline (they are also written to ``benchmarks/_results/``).
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "_results"
@@ -19,7 +18,7 @@ RESULTS_DIR = Path(__file__).parent / "_results"
 
 def save_table(name: str, rendered: str) -> None:
     """Persist a rendered experiment table under benchmarks/_results/."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(rendered + "\n", encoding="utf-8")
 

@@ -16,8 +16,10 @@ processes"* (PODC 2025; arXiv:2504.09805). The library provides:
 * downstream applications: non-equivocating broadcast, reliable
   broadcast, atomic snapshot (``repro.apps``),
 * a message-passing substrate with an ``n > 3f`` SWMR-register emulation
-  (``repro.mp``), and
-* the experiment harness behind ``EXPERIMENTS.md`` (``repro.analysis``).
+  (``repro.mp``),
+* the experiment harness behind ``EXPERIMENTS.md`` (``repro.analysis``), and
+* a schedule-space exploration engine — bounded systematic search, swarm
+  fuzzing, counterexample shrinking (``repro.explore``).
 
 Quickstart::
 
@@ -54,11 +56,13 @@ from repro.sim import (
     BOTTOM,
     History,
     OperationRecord,
+    PriorityScheduler,
     RandomScheduler,
     RoundRobinScheduler,
     ScriptClient,
     ScriptedScheduler,
     System,
+    TraceScheduler,
 )
 
 __version__ = "1.0.0"
@@ -94,6 +98,7 @@ __all__ = [
     "NaiveVerifiableRegister",
     "OperationRecord",
     "OwnershipError",
+    "PriorityScheduler",
     "QuorumTestOrSet",
     "RandomScheduler",
     "ReproError",
@@ -108,6 +113,7 @@ __all__ = [
     "TestOrSetFromAuthenticated",
     "TestOrSetFromSticky",
     "TestOrSetFromVerifiable",
+    "TraceScheduler",
     "VerifiableRegister",
     "build_shared_memory_system",
     "__version__",

@@ -1,18 +1,29 @@
-"""Run the full experiment suite from the command line.
+"""Run the experiment suite or the schedule explorer from the command line.
 
 Usage::
 
-    python -m repro.analysis            # every experiment, full tables
-    python -m repro.analysis E5 E11     # a subset, by experiment id
+    python -m repro.analysis                 # every experiment, full tables
+    python -m repro.analysis E5 E11          # a subset, by experiment id
+    python -m repro.analysis --list          # experiment ids and titles
+    python -m repro.analysis explore         # schedule-space exploration
+    python -m repro.analysis explore --budget 200 --f 2
 
 This is the no-pytest path to EXPERIMENTS.md's tables — useful for
 quick inspection or for environments without pytest-benchmark. Each
 experiment prints its table and a PASS/FAIL verdict on the qualitative
 expectation it reproduces.
+
+The ``explore`` subcommand drives ``repro.explore`` end to end: bounded
+systematic search plus a swarm fuzzing campaign over the Theorem 29
+scenario at ``n = 3f`` (where it must find a Byzantine-linearizability
+violation and shrink it to a ScriptedScheduler script) and at
+``n = 3f + 1`` (where the same bounds must come back clean). Exit code
+0 means the theorem's shape reproduced.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 from typing import Callable, Dict, List, Sequence, Tuple
@@ -133,8 +144,179 @@ def _run_e11():
 ALL_IDS = ("E1", "E2", "E3", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12")
 
 
+def _list_experiments() -> int:
+    """Print every experiment id with its title; exit code 0."""
+    for exp_id in ALL_IDS:
+        title, _driver, _verdict = _runner(exp_id)
+        print(f"{exp_id:4} {title}")
+    print("explore  schedule-space exploration (see `explore --help`)")
+    return 0
+
+
+def _explore_main(argv: Sequence[str]) -> int:
+    """The ``explore`` subcommand: systematic search + swarm + shrink."""
+    from repro.analysis.reporting import render_table
+    from repro.explore import adversary_grid, explore, fuzz, make_scenario, shrink
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis explore",
+        description=(
+            "Search the schedule space of a scenario with the bounded "
+            "systematic explorer and a swarm fuzzing campaign; shrink the "
+            "first violation to a ScriptedScheduler script."
+        ),
+    )
+    parser.add_argument(
+        "--scenario",
+        default="theorem29",
+        choices=("theorem29", "register"),
+        help="what to explore: the Theorem 29 race (default) or the "
+        "randomized register workloads with adversary combinations",
+    )
+    parser.add_argument("--f", type=int, default=1, help="fault bound (theorem29)")
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=600,
+        help="runs per engine per phase (default 600)",
+    )
+    parser.add_argument("--depth", type=int, default=14, help="systematic depth bound")
+    parser.add_argument(
+        "--preempt", type=int, default=2, help="systematic preemption bound"
+    )
+    parser.add_argument("--mode", choices=("dfs", "bfs"), default="dfs")
+    parser.add_argument(
+        "--shards", type=int, default=None, help="fuzzer processes (default: cores, <=4)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="first fuzzing seed")
+    parser.add_argument(
+        "--kind",
+        default="verifiable",
+        choices=("verifiable", "authenticated", "sticky"),
+        help="register kind (register scenario)",
+    )
+    parser.add_argument("--n", type=int, default=4, help="processes (register scenario)")
+    parser.add_argument("--no-shrink", action="store_true", help="skip shrinking")
+    parser.add_argument(
+        "--no-control",
+        action="store_true",
+        help="skip the n = 3f + 1 control phase (theorem29)",
+    )
+    args = parser.parse_args(argv)
+    if args.f < 1:
+        parser.error("--f must be >= 1")
+    if args.budget < 1:
+        parser.error("--budget must be >= 1")
+
+    headers = ("phase", "engine", "runs", "runs/s", "states/s", "violations", "note")
+    rows: List[Tuple] = []
+
+    def run_phase(phase: str, scenarios, expect_violation: bool) -> bool:
+        """Run both engines over ``scenarios``; returns found-violation."""
+        target = scenarios[0] if len(scenarios) == 1 else None
+        found = []
+        if target is not None:
+            sys_report = explore(
+                target,
+                depth_bound=args.depth,
+                preemption_bound=args.preempt,
+                budget=args.budget,
+                mode=args.mode,
+            )
+            print(sys_report.summary())
+            rows.append(
+                (
+                    phase,
+                    f"systematic/{args.mode}",
+                    sys_report.runs,
+                    round(sys_report.runs_per_sec),
+                    round(sys_report.states_per_sec),
+                    len(sys_report.violations),
+                    "exhausted" if sys_report.exhausted else "budget",
+                )
+            )
+            found.extend(sys_report.violations)
+        fuzz_report = fuzz(
+            scenarios, budget=args.budget, shards=args.shards, seed0=args.seed
+        )
+        print(fuzz_report.summary())
+        rows.append(
+            (
+                phase,
+                f"swarm x{fuzz_report.shards}",
+                fuzz_report.runs,
+                round(fuzz_report.runs_per_sec),
+                "-",
+                len(fuzz_report.violations),
+                f"{sum(fuzz_report.violation_counts.values())} violating runs",
+            )
+        )
+        known = {v.fingerprint() for v in found}
+        found.extend(
+            v for v in fuzz_report.violations if v.fingerprint() not in known
+        )
+        for violation in found:
+            print(f"  -> {violation.describe()}")
+        if found and expect_violation and not args.no_shrink and target is not None:
+            shrunk = shrink(target, found[0])
+            print(f"  {shrunk.describe()}")
+            print()
+            print(shrunk.script_source())
+        return bool(found)
+
+    if args.scenario == "theorem29":
+        n = 3 * args.f
+        print(f"== phase 1: theorem29 at n = 3f = {n} (violation expected) ==")
+        found_at_bound = run_phase(
+            f"n=3f={n}", [make_scenario("theorem29", f=args.f)], expect_violation=True
+        )
+        clean_control = True
+        if not args.no_control:
+            print()
+            print(f"== phase 2: control at n = 3f + 1 = {n + 1} (must be clean) ==")
+            control_found = run_phase(
+                f"n=3f+1={n + 1}",
+                [make_scenario("theorem29", f=args.f, extra_correct=True)],
+                expect_violation=False,
+            )
+            clean_control = not control_found
+        print()
+        print(render_table(headers, rows, title="Schedule exploration — Theorem 29"))
+        ok = found_at_bound and clean_control
+        print()
+        if ok:
+            print(
+                "PASS: violation found and shrunk at n = 3f"
+                + ("" if args.no_control else "; n = 3f + 1 clean within the same bounds")
+            )
+        else:
+            if not found_at_bound:
+                print("FAIL: no violation found at n = 3f within the budget")
+            if not clean_control:
+                print("FAIL: violation found at n = 3f + 1 (control should be clean)")
+        return 0 if ok else 1
+
+    # register scenario: fuzz adversary behaviour combinations; the
+    # paper's algorithms must hold, so any violation is a failure.
+    scenarios = adversary_grid(kind=args.kind, n=args.n, seeds=(args.seed, args.seed + 1))
+    print(
+        f"== swarm over {len(scenarios)} {args.kind} register scenario(s), "
+        f"n={args.n} =="
+    )
+    found = run_phase(f"{args.kind} n={args.n}", scenarios, expect_violation=False)
+    print()
+    print(render_table(headers, rows, title="Schedule exploration — register workloads"))
+    print()
+    print("PASS: no violations" if not found else "FAIL: violations found")
+    return 0 if not found else 1
+
+
 def main(argv: Sequence[str]) -> int:
     """Entry point; returns a process exit code."""
+    if argv and argv[0] in ("--list", "-l"):
+        return _list_experiments()
+    if argv and argv[0].lower() == "explore":
+        return _explore_main(list(argv[1:]))
     wanted = [arg.upper() for arg in argv] or list(ALL_IDS)
     failures: List[str] = []
     for exp_id in wanted:

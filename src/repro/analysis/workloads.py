@@ -259,7 +259,76 @@ class ScenarioOutcome:
         )
 
 
-def run_register_scenario(
+@dataclass
+class PreparedRegisterScenario:
+    """A fully built register scenario that has not yet taken a step.
+
+    The build/run/check split exists for ``repro.explore``: the explorer
+    installs its ``on_step`` observer and trace scheduler between
+    construction and execution. :func:`run_register_scenario` is the
+    one-shot convenience wrapper that most callers keep using.
+    """
+
+    kind: str
+    n: int
+    f: int
+    seed: int
+    adversary: str
+    system: System
+    register: Any
+    initial: Any
+    done: Callable[[], bool]
+
+    def run(self, max_steps: int = 2_000_000) -> int:
+        """Drive the system until every scripted client finished."""
+        return self.system.run_until(self.done, max_steps, label="all clients")
+
+    def finish(self, steps: int) -> ScenarioOutcome:
+        """Check the produced history and package the outcome."""
+        check_properties, check_byzantine = checker_for(self.kind)
+        if self.kind == "sticky":
+            report = check_properties(
+                self.system.history,
+                self.system.correct,
+                self.register.name,
+                writer=self.register.writer,
+            )
+            verdict = check_byzantine(
+                self.system.history,
+                self.system.correct,
+                self.register.name,
+                writer=self.register.writer,
+            )
+        else:
+            report = check_properties(
+                self.system.history,
+                self.system.correct,
+                self.register.name,
+                writer=self.register.writer,
+                initial=self.initial,
+            )
+            verdict = check_byzantine(
+                self.system.history,
+                self.system.correct,
+                self.register.name,
+                writer=self.register.writer,
+                initial=self.initial,
+            )
+        return ScenarioOutcome(
+            kind=self.kind,
+            n=self.n,
+            f=self.f,
+            seed=self.seed,
+            adversary=self.adversary,
+            system=self.system,
+            register=self.register,
+            report=report,
+            verdict=verdict,
+            steps=steps,
+        )
+
+
+def prepare_register_scenario(
     kind: str,
     n: int,
     seed: int = 0,
@@ -270,10 +339,9 @@ def run_register_scenario(
     scheduler: Optional[Scheduler] = None,
     domain: Sequence[Any] = (10, 20, 30),
     initial: Any = 0,
-    max_steps: int = 2_000_000,
     reader_stagger: int = 40,
-) -> ScenarioOutcome:
-    """Build, run, and check one complete register scenario.
+) -> PreparedRegisterScenario:
+    """Build (but do not run) one complete register scenario.
 
     Args:
         kind: One of :data:`REGISTER_KINDS`.
@@ -289,8 +357,6 @@ def run_register_scenario(
         reader_stagger: Pause steps inserted before each reader's script
             so operations overlap the writer's rather than trivially
             following it.
-
-    Returns a :class:`ScenarioOutcome` with verdicts already computed.
     """
     reader_adversaries = dict(reader_adversaries or {})
     adversary_label = writer_adversary
@@ -378,32 +444,7 @@ def run_register_scenario(
             for c in clients
         )
 
-    steps = system.run_until(all_scripts_done, max_steps, label="all clients")
-
-    check_properties, check_byzantine = checker_for(kind)
-    if kind == "sticky":
-        report = check_properties(
-            system.history, system.correct, register.name, writer=register.writer
-        )
-        verdict = check_byzantine(
-            system.history, system.correct, register.name, writer=register.writer
-        )
-    else:
-        report = check_properties(
-            system.history,
-            system.correct,
-            register.name,
-            writer=register.writer,
-            initial=initial,
-        )
-        verdict = check_byzantine(
-            system.history,
-            system.correct,
-            register.name,
-            writer=register.writer,
-            initial=initial,
-        )
-    return ScenarioOutcome(
+    return PreparedRegisterScenario(
         kind=kind,
         n=n,
         f=system.f if f is None else f,
@@ -411,7 +452,43 @@ def run_register_scenario(
         adversary=adversary_label,
         system=system,
         register=register,
-        report=report,
-        verdict=verdict,
-        steps=steps,
+        initial=initial,
+        done=all_scripts_done,
     )
+
+
+def run_register_scenario(
+    kind: str,
+    n: int,
+    seed: int = 0,
+    f: Optional[int] = None,
+    writer_adversary: str = "none",
+    reader_adversaries: Optional[Dict[int, str]] = None,
+    workload: Optional[Workload] = None,
+    scheduler: Optional[Scheduler] = None,
+    domain: Sequence[Any] = (10, 20, 30),
+    initial: Any = 0,
+    max_steps: int = 2_000_000,
+    reader_stagger: int = 40,
+) -> ScenarioOutcome:
+    """Build, run, and check one complete register scenario.
+
+    See :func:`prepare_register_scenario` for the parameters; this
+    wrapper drives the prepared scenario to completion and returns a
+    :class:`ScenarioOutcome` with verdicts already computed.
+    """
+    prepared = prepare_register_scenario(
+        kind,
+        n,
+        seed=seed,
+        f=f,
+        writer_adversary=writer_adversary,
+        reader_adversaries=reader_adversaries,
+        workload=workload,
+        scheduler=scheduler,
+        domain=domain,
+        initial=initial,
+        reader_stagger=reader_stagger,
+    )
+    steps = prepared.run(max_steps)
+    return prepared.finish(steps)

@@ -1,0 +1,82 @@
+"""Schedule-space exploration: systematic search, swarm fuzzing, shrinking.
+
+This subpackage turns the deterministic simulator into a *checker over
+interleavings*. The paper's theorems are quantified over all adversarial
+schedules; ``repro.explore`` actually searches that space:
+
+* :mod:`repro.explore.scenarios` — explorable build/drive/check
+  scenarios, including the Theorem 29 / Figure 1 race and the
+  randomized register workloads;
+* :mod:`repro.explore.explorer` — bounded systematic exploration
+  (DFS/BFS over decision traces with preemption bounds, state
+  fingerprint memoization and sleep-set-style commutation pruning);
+* :mod:`repro.explore.fuzzer` — multiprocessing swarm campaigns of
+  seeded random/priority schedules with violation deduplication;
+* :mod:`repro.explore.shrink` — counterexample minimization down to a
+  ``ScriptedScheduler`` script fit for a regression test.
+
+Quickstart (see ``examples/explore_quickstart.py``)::
+
+    from repro.explore import explore, fuzz, make_scenario, shrink
+
+    scenario = make_scenario("theorem29", f=1)
+    report = explore(scenario, budget=400)      # systematic, bounded
+    swarm = fuzz(scenario, budget=200)          # seeded swarm, sharded
+    tiny = shrink(scenario, swarm.violations[0])
+    print(tiny.script_source())
+
+The CLI front end is ``python -m repro.analysis explore``.
+"""
+
+from repro.explore.explorer import (
+    ExploreReport,
+    RunRecord,
+    commutes,
+    effect_signature,
+    execute_trace,
+    explore,
+)
+from repro.explore.fuzzer import (
+    FUZZ_FAIRNESS_BOUND,
+    FuzzReport,
+    ShardResult,
+    SwarmScheduler,
+    default_shards,
+    fuzz,
+    fuzz_scheduler,
+    run_one_fuzz,
+)
+from repro.explore.scenarios import (
+    SCENARIO_BUILDERS,
+    BuiltScenario,
+    Scenario,
+    Violation,
+    adversary_grid,
+    make_scenario,
+)
+from repro.explore.shrink import ShrunkViolation, shrink
+
+__all__ = [
+    "BuiltScenario",
+    "ExploreReport",
+    "FUZZ_FAIRNESS_BOUND",
+    "FuzzReport",
+    "RunRecord",
+    "SCENARIO_BUILDERS",
+    "Scenario",
+    "ShardResult",
+    "ShrunkViolation",
+    "SwarmScheduler",
+    "Violation",
+    "adversary_grid",
+    "commutes",
+    "default_shards",
+    "effect_signature",
+    "execute_trace",
+    "explore",
+    "fuzz",
+    "fuzz_scheduler",
+    "make_scenario",
+    "run_one_fuzz",
+    "shrink",
+]

@@ -1,0 +1,335 @@
+"""Bounded systematic exploration of the schedule space.
+
+Stateless (re-execution based) model checking over scheduler decision
+traces: each node of the search tree is a decision-index prefix (see
+:class:`repro.sim.TraceScheduler`); executing a node replays its prefix
+and completes the run with a *fair* round-robin fallback, so every
+explored schedule is a full history the spec checkers can judge. The
+search is bounded three ways:
+
+* **depth bound** — deviations from the fallback are only injected in
+  the first ``depth_bound`` steps (the classic bounded-model-checking
+  frontier);
+* **preemption bound** — prefixes that switch away from a runnable
+  coroutine more than ``preemption_bound`` times are pruned, the CHESS
+  observation that real schedule bugs need very few preemptions;
+* **budget** — a hard cap on executed runs.
+
+Two prunings cut the remaining tree:
+
+* **fingerprint memoization** — :meth:`repro.sim.System.fingerprint`
+  hashes the forward-relevant state after every prefix step; a node
+  whose state was already expanded at the same or shallower depth is
+  not expanded again (commuting interleavings reconverge here);
+* **sleep-set-style commutation pruning** — a sibling whose next effect
+  commutes with every already-explored sibling's next effect at that
+  node is skipped: swapping adjacent commuting steps cannot produce a
+  new state, so some explored ordering covers it. A coroutine's next
+  effect at a node is read off the base run (it is invariant until the
+  coroutine steps), so no extra executions are needed.
+
+Both prunings are heuristic in the strict sense (the fingerprint
+abstracts non-primitive locals; sleep sets assume ``Pause`` guards
+depend only on operation completion), so the report keeps separate
+counters for each and ``exhausted`` only claims the *bounded, pruned*
+tree was drained.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SchedulerError, StepLimitExceeded
+from repro.sim.effects import Pause, ReadRegister, WriteRegister
+from repro.sim.scheduler import CoroutineId, RoundRobinScheduler, TraceScheduler
+from repro.explore.scenarios import Scenario, Violation
+
+#: Effect signature: ("read", reg) / ("write", reg) / ("pause",) /
+#: ("sync",) for anything that touches history, mailboxes or retires a
+#: coroutine. Signatures drive the commutation test below.
+EffectSignature = Tuple[str, ...]
+
+
+def effect_signature(effect: object) -> EffectSignature:
+    """Classify one executed effect for the commutation test."""
+    if isinstance(effect, ReadRegister):
+        return ("read", effect.register)
+    if isinstance(effect, WriteRegister):
+        return ("write", effect.register)
+    if isinstance(effect, Pause):
+        return ("pause",)
+    return ("sync",)
+
+
+def commutes(a: EffectSignature, b: EffectSignature) -> bool:
+    """Whether two adjacent steps can swap without changing the state.
+
+    Reads commute with reads; register accesses commute unless they
+    race on the same register with a write involved; ``Pause`` commutes
+    with any register access (a pause only re-evaluates its guard,
+    which in this codebase watches operation completion, not register
+    contents). Anything classified ``sync`` — Invoke/Respond (they flip
+    client ``done`` flags that pause-guards watch), message effects,
+    and coroutine retirement — conservatively commutes with nothing.
+    """
+    if a[0] == "sync" or b[0] == "sync":
+        return False
+    if a[0] == "pause" or b[0] == "pause":
+        return True
+    if a[0] == "read" and b[0] == "read":
+        return True
+    return a[1] != b[1]
+
+
+@dataclass
+class RunRecord:
+    """Everything one re-execution exposes to the search loop."""
+
+    trace: Tuple[int, ...]
+    chosen: Tuple[CoroutineId, ...]
+    runnables: Tuple[Tuple[CoroutineId, ...], ...]
+    cumulative_preemptions: Tuple[int, ...]
+    effects: Tuple[EffectSignature, ...]
+    fingerprints: Tuple[int, ...]
+    completed: bool
+    steps: int
+    violation: Optional[Violation] = None
+
+
+@dataclass
+class ExploreReport:
+    """Outcome of one bounded exploration campaign."""
+
+    scenario: str
+    mode: str
+    depth_bound: int
+    preemption_bound: int
+    budget: int
+    runs: int = 0
+    steps: int = 0
+    states: int = 0
+    unique_states: int = 0
+    incomplete: int = 0
+    pruned_fingerprint: int = 0
+    pruned_sleep: int = 0
+    pruned_preemption: int = 0
+    exhausted: bool = False
+    elapsed: float = 0.0
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def runs_per_sec(self) -> float:
+        """Executed schedules per wall-clock second."""
+        return self.runs / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def states_per_sec(self) -> float:
+        """State fingerprints computed per wall-clock second."""
+        return self.states / self.elapsed if self.elapsed > 0 else 0.0
+
+    def summary(self) -> str:
+        """One-paragraph rendering for the CLI."""
+        verdict = (
+            f"{len(self.violations)} violation class(es) found"
+            if self.violations
+            else "no violations"
+        )
+        tree = "bounded tree exhausted" if self.exhausted else "budget reached"
+        return (
+            f"{self.scenario}: {verdict} in {self.runs} runs "
+            f"({self.mode}, depth<={self.depth_bound}, "
+            f"preemptions<={self.preemption_bound}; {tree}); "
+            f"{self.runs_per_sec:.0f} runs/s, {self.states_per_sec:.0f} states/s, "
+            f"{self.unique_states} unique states, pruned "
+            f"{self.pruned_fingerprint} by fingerprint / {self.pruned_sleep} "
+            f"by sleep sets / {self.pruned_preemption} by preemption bound"
+        )
+
+
+def execute_trace(
+    scenario: Scenario,
+    prefix: Sequence[int] = (),
+    depth_bound: int = 0,
+    fingerprints: bool = False,
+    schedule_label: str = "",
+) -> RunRecord:
+    """Replay ``prefix`` against a fresh build of ``scenario``.
+
+    The run completes under a fair round-robin fallback; the first
+    ``depth_bound`` steps additionally record runnable sets, effect
+    signatures and (optionally) state fingerprints for the search loop.
+    Raises :class:`SchedulerError` when the prefix is not realizable.
+    """
+    scheduler = TraceScheduler(
+        prefix=prefix, fallback=RoundRobinScheduler(), horizon=depth_bound
+    )
+    built = scenario.build(scheduler)
+    signatures: List[EffectSignature] = []
+    prints: List[int] = []
+
+    def on_step(cid: CoroutineId, effect: object) -> None:
+        signatures.append(
+            ("sync",) if effect is None else effect_signature(effect)
+        )
+        if fingerprints and len(prints) < depth_bound:
+            prints.append(built.system.fingerprint())
+
+    built.system.on_step = on_step
+    completed = True
+    try:
+        built.drive()
+    except StepLimitExceeded:
+        completed = False
+    reason = built.check() if completed else None
+    violation = (
+        Violation(
+            scenario=scenario.label(),
+            reason=reason,
+            trace=tuple(scheduler.trace),
+            schedule=schedule_label or scheduler.describe(),
+        )
+        if reason
+        else None
+    )
+    return RunRecord(
+        trace=tuple(scheduler.trace),
+        chosen=tuple(scheduler.chosen),
+        runnables=tuple(scheduler.runnables),
+        cumulative_preemptions=tuple(scheduler.cumulative_preemptions),
+        effects=tuple(signatures),
+        fingerprints=tuple(prints),
+        completed=completed,
+        steps=len(scheduler.trace),
+        violation=violation,
+    )
+
+
+def _next_effect_at(
+    record: RunRecord, depth: int, cid: CoroutineId
+) -> Optional[EffectSignature]:
+    """``cid``'s pending effect at step ``depth`` of the base run.
+
+    A coroutine's next effect is fixed until it steps, so it equals the
+    effect it executed at its first step >= ``depth`` in this run (None
+    when it never stepped again — then nothing is known and no pruning
+    applies).
+    """
+    for later in range(depth, len(record.chosen)):
+        if record.chosen[later] == cid:
+            return record.effects[later]
+    return None
+
+
+def explore(
+    scenario: Scenario,
+    depth_bound: int = 14,
+    preemption_bound: int = 2,
+    budget: int = 1_000,
+    mode: str = "dfs",
+    memoize: bool = True,
+    sleep_sets: bool = True,
+    stop_on_violation: bool = False,
+) -> ExploreReport:
+    """Systematically search bounded schedules of ``scenario``.
+
+    Returns an :class:`ExploreReport`; ``report.violations`` holds one
+    representative :class:`Violation` per deduplicated violation class.
+    """
+    if mode not in ("dfs", "bfs"):
+        raise ValueError(f"mode must be 'dfs' or 'bfs', got {mode!r}")
+    report = ExploreReport(
+        scenario=scenario.label(),
+        mode=mode,
+        depth_bound=depth_bound,
+        preemption_bound=preemption_bound,
+        budget=budget,
+    )
+    started = time.perf_counter()
+    frontier: Deque[Tuple[int, ...]] = deque([()])
+    seen_states: Dict[int, int] = {}
+    seen_violations: Set[str] = set()
+    label = f"explore({mode})"
+
+    while frontier and report.runs < budget:
+        prefix = frontier.pop() if mode == "dfs" else frontier.popleft()
+        try:
+            record = execute_trace(
+                scenario,
+                prefix,
+                depth_bound=depth_bound,
+                fingerprints=memoize,
+                schedule_label=label,
+            )
+        except SchedulerError:
+            # The prefix stopped being realizable (can happen when a
+            # sibling index exceeds the runnable count mid-tree).
+            continue
+        report.runs += 1
+        report.steps += record.steps
+        report.states += len(record.fingerprints)
+        if not record.completed:
+            report.incomplete += 1
+            continue
+        if record.violation is not None:
+            key = record.violation.fingerprint()
+            if key not in seen_violations:
+                seen_violations.add(key)
+                report.violations.append(record.violation)
+            if stop_on_violation:
+                break
+
+        # Fingerprint memoization: skip expanding a node whose state was
+        # already expanded at the same or a shallower depth.
+        if memoize and prefix:
+            node_state = record.fingerprints[len(prefix) - 1]
+            known_depth = seen_states.get(node_state)
+            if known_depth is not None and known_depth <= len(prefix):
+                report.pruned_fingerprint += 1
+                continue
+            seen_states[node_state] = len(prefix)
+        if memoize:
+            for depth, state in enumerate(record.fingerprints, start=1):
+                seen_states.setdefault(state, depth)
+            report.unique_states = len(seen_states)
+
+        # Expand: deviate from this run at every depth past the forced
+        # prefix, up to the bounds.
+        horizon = min(depth_bound, len(record.trace), len(record.runnables))
+        for depth in range(len(prefix), horizon):
+            runnable = record.runnables[depth]
+            chosen_index = record.trace[depth]
+            explored_sigs: List[EffectSignature] = [record.effects[depth]]
+            base_preemptions = record.cumulative_preemptions[depth]
+            previous = record.chosen[depth - 1] if depth > 0 else None
+            for index, cid in enumerate(runnable):
+                if index == chosen_index:
+                    continue
+                switch_cost = (
+                    1
+                    if previous is not None
+                    and cid != previous
+                    and previous in runnable
+                    else 0
+                )
+                if base_preemptions + switch_cost > preemption_bound:
+                    report.pruned_preemption += 1
+                    continue
+                if sleep_sets:
+                    pending = _next_effect_at(record, depth, cid)
+                    if pending is not None and all(
+                        commutes(pending, sig) for sig in explored_sigs
+                    ):
+                        report.pruned_sleep += 1
+                        continue
+                    if pending is not None:
+                        explored_sigs.append(pending)
+                frontier.append(record.trace[:depth] + (index,))
+
+    report.exhausted = not frontier and report.runs <= budget
+    report.elapsed = time.perf_counter() - started
+    if not memoize:
+        report.unique_states = 0
+    return report

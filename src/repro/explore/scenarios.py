@@ -1,0 +1,353 @@
+"""Explorable scenarios: build / drive / check triples over a scheduler.
+
+The exploration engines (:mod:`repro.explore.explorer` systematic
+search, :mod:`repro.explore.fuzzer` swarm campaigns, and the
+:mod:`repro.explore.shrink` minimizer) are all schedule-generic: they
+feed schedulers into a *scenario* and ask it whether the produced
+history violates the object's specification. A scenario is therefore a
+picklable ``(name, params)`` spec — workers in other processes rebuild
+it from the registry — whose :meth:`Scenario.build` returns a
+:class:`BuiltScenario`: the freshly constructed :class:`System`, a
+``drive`` callable that runs it to completion, and a ``check`` callable
+returning a violation reason (or ``None``).
+
+Two scenario families ship in-tree:
+
+* ``theorem29`` — the Figure 1 cast (setter / pa / pb / Q1–Q3) around
+  the :class:`QuorumTestOrSet` candidate, with the Byzantine group's
+  behaviour *unphased*: each Byzantine process raises the flag and its
+  witness and then erases its own registers, whenever the scheduler
+  lets it. Whether the erasure lands before or after pa's Test decides
+  whether the run is clean or violates relay / Byzantine
+  linearizability — exactly the race Theorem 29 builds by hand. At
+  ``n = 3f`` violating interleavings exist; at ``n = 3f + 1`` the extra
+  correct member of Q2 closes them all (under the fair completions the
+  explorer appends to every bounded prefix).
+* ``register`` — the randomized register workloads of
+  ``repro.analysis.workloads`` (Algorithms 1–3 plus ablation
+  strawmen), parameterized by kind, n, seed and adversary mix, so swarm
+  campaigns can fan Byzantine behaviour combinations across cores.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.adversary.theorem29 import Roles
+from repro.analysis.workloads import prepare_register_scenario
+from repro.core.test_or_set import SET_FLAG, QuorumTestOrSet
+from repro.errors import ConfigurationError
+from repro.sim import (
+    FunctionClient,
+    OpCall,
+    Pause,
+    ScriptClient,
+    System,
+    WriteRegister,
+)
+from repro.sim.scheduler import Scheduler
+from repro.spec.byzantine import check_test_or_set
+from repro.spec.properties import check_test_or_set_properties
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One specification violation surfaced by an exploration run.
+
+    ``trace`` is the complete decision trace of the violating run (see
+    :class:`repro.sim.TraceScheduler`), so the run replays exactly;
+    ``schedule`` describes the scheduler that produced it and ``seed``
+    its fuzzing seed, when any.
+    """
+
+    scenario: str
+    reason: str
+    trace: Tuple[int, ...]
+    schedule: str = ""
+    seed: Optional[int] = None
+
+    def fingerprint(self) -> str:
+        """Dedup key: the violation class, with run-specific ids masked.
+
+        Operation ids, pids and virtual times vary between interleavings
+        that break the *same* property; masking digits collapses them
+        into one bucket, which is what swarm campaigns report.
+        """
+        return f"{self.scenario}:{re.sub(r'[0-9]+', 'N', self.reason)}"
+
+    def describe(self) -> str:
+        """One-line rendering for reports."""
+        return (
+            f"[{self.scenario}] {self.reason} "
+            f"(trace length {len(self.trace)}, via {self.schedule or 'unknown'})"
+        )
+
+
+@dataclass
+class BuiltScenario:
+    """One constructed-but-unstarted exploration run."""
+
+    system: System
+    #: Run the system to completion; may raise StepLimitExceeded.
+    drive: Callable[[], None]
+    #: Inspect the finished history; violation reason or None.
+    check: Callable[[], Optional[str]]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Picklable scenario spec: a registry name plus keyword parameters."""
+
+    name: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def build(self, scheduler: Scheduler) -> BuiltScenario:
+        """Construct a fresh run of this scenario under ``scheduler``."""
+        builder = SCENARIO_BUILDERS.get(self.name)
+        if builder is None:
+            raise ConfigurationError(
+                f"unknown scenario {self.name!r}; "
+                f"known: {', '.join(sorted(SCENARIO_BUILDERS))}"
+            )
+        return builder(scheduler, **dict(self.params))
+
+    def label(self) -> str:
+        """Human-readable spec rendering for tables and reports."""
+        if not self.params:
+            return self.name
+        rendered = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.name}({rendered})"
+
+
+def make_scenario(name: str, **params: Any) -> Scenario:
+    """Build a :class:`Scenario` spec, validating the name eagerly."""
+    if name not in SCENARIO_BUILDERS:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; known: {', '.join(sorted(SCENARIO_BUILDERS))}"
+        )
+    return Scenario(name=name, params=tuple(sorted(params.items())))
+
+
+# ----------------------------------------------------------------------
+# Theorem 29 / Figure 1 as a schedule-space search problem
+# ----------------------------------------------------------------------
+def _build_theorem29(
+    scheduler: Scheduler,
+    f: int = 1,
+    extra_correct: bool = False,
+    accept_threshold: Optional[int] = None,
+    patience: int = 24,
+    linger: int = 2,
+    max_steps: int = 60_000,
+) -> BuiltScenario:
+    """The Figure 1 cast with a free-running Byzantine group.
+
+    Construction (compare ``repro.adversary.theorem29.run_h2``, where
+    the same cast is driven through hand-scripted phases):
+
+    * Correct helpers of ``pa`` and Q2 run from the start; ``pb`` and
+      Q3's helpers *sleep* until the Byzantine group halts — the
+      Figure 1 wake-up at t6, expressed as a guard rather than a
+      scripted time.
+    * Each Byzantine process (``s`` and Q1) raises the flag (setter
+      only) and its own witness register, lingers for ``linger`` pause
+      steps, then erases everything it owns — "as if these processes
+      never took any step". The scheduler alone decides when the
+      erasure lands; the linger only widens the raised-witness window
+      so that *randomly sampled* schedules hit the overlap at larger
+      ``f``, where several Byzantine windows must coincide (it adds no
+      behaviour a Byzantine process could not exhibit anyway).
+    * ``pa`` runs Test as soon as scheduled; ``pb`` runs Test' after
+      both the Byzantine halt and pa's response, so the two tests are
+      never concurrent and the relay property (Lemma 28(3)) applies.
+
+    A violating interleaving must thread the needle: pa's Test has to
+    gather its ``n - f`` witness quorum *while* the Byzantine witnesses
+    are raised, and pb's Test' must start only after they vanished — at
+    ``n = 3f`` the surviving correct witnesses then number ``f``, one
+    short of the ``f + 1`` adoption threshold, and Test' returns 0
+    after a Test that returned 1.
+    """
+    roles = Roles.for_f(f, extra_correct=extra_correct)
+    system = System(n=roles.n, f=f, scheduler=scheduler, enforce_bound=False)
+    tos = QuorumTestOrSet(
+        system,
+        "tos",
+        setter=roles.setter,
+        f=f,
+        accept_threshold=accept_threshold,
+        patience=patience,
+    )
+    tos.install()
+    byz = (roles.setter, *roles.q1)
+    system.declare_byzantine(*byz)
+    correct = frozenset(system.correct)
+
+    for pid in (roles.pa, *roles.q2):
+        system.spawn(pid, "help", tos.procedure_help(pid))
+
+    pa_client = ScriptClient(
+        [OpCall("tos", "test", (), lambda: tos.procedure_test(roles.pa))]
+    )
+    system.spawn(roles.pa, "client", pa_client.program())
+
+    erasers: List[FunctionClient] = []
+    for pid in byz:
+        owned = tuple(
+            name
+            for name in system.registers.names()
+            if system.registers.spec(name).writer == pid
+        )
+
+        def raise_then_erase(pid: int = pid, owned: Tuple[str, ...] = owned):
+            if pid == roles.setter:
+                yield WriteRegister(tos.reg_flag(), SET_FLAG)
+            yield WriteRegister(tos.reg_witness(pid), SET_FLAG)
+            for _ in range(linger):
+                yield Pause()
+            for name in owned:
+                yield WriteRegister(name, system.registers.spec(name).initial)
+
+        eraser = FunctionClient(raise_then_erase)
+        erasers.append(eraser)
+        system.spawn(pid, "adv", eraser.program())
+
+    def byzantine_halted() -> bool:
+        return all(eraser.done for eraser in erasers)
+
+    def late_help(pid: int):
+        while not byzantine_halted():
+            yield Pause()
+        yield from tos.procedure_help(pid)
+
+    for pid in (roles.pb, *roles.q3):
+        system.spawn(pid, "help", late_help(pid))
+
+    pb_client = ScriptClient(
+        [OpCall("tos", "test", (), lambda: tos.procedure_test(roles.pb))]
+    )
+
+    def pb_program():
+        while not (byzantine_halted() and pa_client.done):
+            yield Pause()
+        yield from pb_client.program()
+
+    pb_wrapper = FunctionClient(pb_program)
+    system.spawn(roles.pb, "client", pb_wrapper.program())
+
+    def drive() -> None:
+        system.run_until(
+            lambda: pb_wrapper.done, max_steps, label="Test' by pb"
+        )
+
+    def check() -> Optional[str]:
+        report = check_test_or_set_properties(
+            system.history, correct, "tos", setter=roles.setter
+        )
+        if not report.ok:
+            return "; ".join(report.violations)
+        verdict = check_test_or_set(
+            system.history, correct, "tos", setter=roles.setter
+        )
+        if not verdict.ok:
+            return f"Byzantine linearizability: {verdict.reason}"
+        return None
+
+    return BuiltScenario(system=system, drive=drive, check=check)
+
+
+# ----------------------------------------------------------------------
+# Randomized register workloads (Algorithms 1-3 and ablations)
+# ----------------------------------------------------------------------
+def _build_register(
+    scheduler: Scheduler,
+    kind: str = "verifiable",
+    n: int = 4,
+    seed: int = 0,
+    writer_adversary: str = "none",
+    reader_adversaries: Tuple[Tuple[int, str], ...] = (),
+    max_steps: int = 2_000_000,
+) -> BuiltScenario:
+    """A seeded register workload under an exploration scheduler.
+
+    Thin adapter over :func:`prepare_register_scenario`; the seed shapes
+    the operation scripts while the explorer's scheduler owns the
+    interleaving. ``reader_adversaries`` is a tuple of pairs (not a
+    dict) so specs stay hashable.
+    """
+    prepared = prepare_register_scenario(
+        kind,
+        n,
+        seed=seed,
+        writer_adversary=writer_adversary,
+        reader_adversaries=dict(reader_adversaries),
+        scheduler=scheduler,
+    )
+    outcome_box: List[Any] = []
+
+    def drive() -> None:
+        steps = prepared.run(max_steps)
+        outcome_box.append(steps)
+
+    def check() -> Optional[str]:
+        outcome = prepared.finish(outcome_box[0] if outcome_box else 0)
+        if outcome.ok:
+            return None
+        if not outcome.report.ok:
+            return "; ".join(outcome.report.violations)
+        return f"Byzantine linearizability: {outcome.verdict.reason}"
+
+    return BuiltScenario(system=prepared.system, drive=drive, check=check)
+
+
+#: Registry of scenario builders, keyed by spec name. Builders must be
+#: importable from worker processes (top level of this module).
+SCENARIO_BUILDERS: Dict[str, Callable[..., BuiltScenario]] = {
+    "theorem29": _build_theorem29,
+    "register": _build_register,
+}
+
+
+def adversary_grid(
+    kind: str = "verifiable", n: int = 4, seeds: Sequence[int] = (0, 1)
+) -> List[Scenario]:
+    """Scenario specs cycling register adversary behaviour combinations.
+
+    The swarm fuzzer fans these across cores: each spec pairs a seeded
+    workload with one adversary mix from the E1–E3 sweeps (the
+    behaviour-combination axis of a swarm campaign, orthogonal to the
+    schedule axis). Mixes whose Byzantine head-count exceeds the fault
+    bound for this ``n`` are dropped, as in ``correctness_sweep``.
+    """
+    from repro.analysis.experiments import SWEEP_ADVERSARIES
+
+    if kind not in SWEEP_ADVERSARIES:
+        raise ConfigurationError(
+            f"no adversary sweep for register kind {kind!r}; "
+            f"known: {', '.join(sorted(SWEEP_ADVERSARIES))}"
+        )
+    f = (n - 1) // 3
+    specs = []
+    for seed in seeds:
+        for writer_adversary, reader_adversaries in SWEEP_ADVERSARIES[kind]:
+            readers = {
+                pid: name
+                for pid, name in reader_adversaries.items()
+                if pid <= n
+            }
+            byz_count = len(readers) + (1 if writer_adversary != "none" else 0)
+            if byz_count > f:
+                continue
+            specs.append(
+                make_scenario(
+                    "register",
+                    kind=kind,
+                    n=n,
+                    seed=seed,
+                    writer_adversary=writer_adversary,
+                    reader_adversaries=tuple(sorted(readers.items())),
+                )
+            )
+    return specs

@@ -1,0 +1,156 @@
+"""Counterexample shrinking: minimize a violating decision trace.
+
+A violation surfaced by the explorer or the fuzzer carries the full
+decision trace of its run — often hundreds of entries, most of them
+irrelevant to the bug. The shrinker reduces it to a short forced prefix
+whose fair round-robin completion still reproduces the *same class* of
+violation (matched by :meth:`Violation.fingerprint`, so shrinking never
+silently drifts to a different bug):
+
+1. **truncation** — binary-search the shortest violating prefix; the
+   fallback completes the run, so most of the tail usually goes at once;
+2. **ddmin** — classic delta debugging over the surviving entries,
+   removing chunks at increasing granularity while the violation
+   persists;
+3. **normalization** — lower every surviving index toward 0, biasing
+   the schedule toward "first runnable coroutine" so equivalent
+   minima render identically.
+
+The result converts to a :class:`repro.sim.ScriptedScheduler` script —
+the explicit ``(pid, role)`` step list the repo's regression tests are
+written in — via :meth:`ShrunkViolation.script_source`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import SchedulerError
+from repro.sim.scheduler import CoroutineId
+from repro.explore.explorer import execute_trace
+from repro.explore.scenarios import Scenario, Violation
+
+
+@dataclass
+class ShrunkViolation:
+    """A minimized counterexample, ready to paste into a regression test."""
+
+    original: Violation
+    trace: Tuple[int, ...]
+    reason: str
+    script: Tuple[CoroutineId, ...]
+    replays: int
+
+    def script_source(self) -> str:
+        """Python source for a ScriptedScheduler reproducing the violation."""
+        steps = ",\n    ".join(repr(cid) for cid in self.script)
+        body = f"\n    {steps},\n" if self.script else ""
+        return (
+            f"# Violating schedule found by repro.explore for "
+            f"{self.original.scenario}:\n"
+            f"#   {self.reason}\n"
+            f"# Force these steps, then let round robin finish the run.\n"
+            f"scheduler = ScriptedScheduler([{body}], "
+            f"fallback=RoundRobinScheduler(), strict=False)\n"
+        )
+
+    def describe(self) -> str:
+        """One-line rendering for reports."""
+        return (
+            f"shrunk {len(self.original.trace)} -> {len(self.trace)} decisions "
+            f"({self.replays} replays): {self.reason}"
+        )
+
+
+def _reproduces(
+    scenario: Scenario, prefix: Sequence[int], fingerprint: str
+) -> Optional[Violation]:
+    """Replay ``prefix``; return its violation if it matches the class."""
+    try:
+        record = execute_trace(scenario, prefix, schedule_label="shrink")
+    except SchedulerError:
+        return None
+    violation = record.violation
+    if violation is not None and violation.fingerprint() == fingerprint:
+        return violation
+    return None
+
+
+def shrink(
+    scenario: Scenario,
+    violation: Violation,
+    max_replays: int = 600,
+) -> ShrunkViolation:
+    """Minimize ``violation``'s trace; see the module docstring.
+
+    Raises :class:`ValueError` when the original trace does not
+    reproduce its violation (a non-deterministic scenario, or a spec
+    mismatch between finder and shrinker).
+    """
+    fingerprint = violation.fingerprint()
+    replays = 0
+
+    def attempt(prefix: Sequence[int]) -> Optional[Violation]:
+        nonlocal replays
+        replays += 1
+        return _reproduces(scenario, prefix, fingerprint)
+
+    current = list(violation.trace)
+    if attempt(current) is None:
+        raise ValueError(
+            "violation does not reproduce from its own trace; "
+            "is the scenario deterministic?"
+        )
+
+    # Phase 1: truncation by binary search — the shortest prefix whose
+    # fair completion still violates.
+    low, high = 0, len(current)
+    while low < high and replays < max_replays:
+        mid = (low + high) // 2
+        if attempt(current[:mid]) is not None:
+            high = mid
+        else:
+            low = mid + 1
+    current = current[:high]
+
+    # Phase 2: ddmin — remove chunks at doubling granularity.
+    granularity = 2
+    while granularity <= max(len(current), 1) and replays < max_replays:
+        chunk = max(1, len(current) // granularity)
+        removed_any = False
+        start = 0
+        while start < len(current) and replays < max_replays:
+            candidate = current[:start] + current[start + chunk:]
+            if candidate != current and attempt(candidate) is not None:
+                current = candidate
+                removed_any = True
+            else:
+                start += chunk
+        if not removed_any:
+            if chunk == 1:
+                break
+            granularity *= 2
+
+    # Phase 3: normalize indices toward 0 for a canonical rendering.
+    for position in range(len(current)):
+        if replays >= max_replays:
+            break
+        for lower in range(current[position]):
+            candidate = list(current)
+            candidate[position] = lower
+            if attempt(candidate) is not None:
+                current = candidate
+                break
+
+    final = attempt(current)
+    if final is None:  # pragma: no cover - attempt() above already passed
+        raise ValueError("shrinking lost the violation; this is a bug")
+    record = execute_trace(scenario, current, schedule_label="shrunk")
+    return ShrunkViolation(
+        original=violation,
+        trace=tuple(current),
+        reason=final.reason,
+        script=tuple(record.chosen[: len(current)]),
+        replays=replays,
+    )

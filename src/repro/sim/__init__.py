@@ -36,6 +36,7 @@ from repro.sim.scheduler import (
     RoundRobinScheduler,
     ScriptedScheduler,
     Scheduler,
+    TraceScheduler,
     interleave,
     steps,
 )
@@ -71,6 +72,7 @@ __all__ = [
     "Send",
     "StepMetrics",
     "System",
+    "TraceScheduler",
     "WriteRegister",
     "all_done",
     "call",

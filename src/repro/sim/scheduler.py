@@ -17,6 +17,11 @@ this with pluggable schedulers:
   interleavings.
 * :class:`PriorityScheduler` — biases some coroutines to run more often
   (e.g. starving Help daemons to stress the helping mechanism).
+* :class:`TraceScheduler` — the record/replay choice-point layer used by
+  ``repro.explore``. Every kernel step presents its runnable list in a
+  deterministic sorted order, so the *index* chosen at each step is a
+  complete, compact encoding of the interleaving: replaying the same
+  index trace against the same scenario reproduces the run bit for bit.
 
 A *coroutine id* is a ``(pid, role)`` pair — each process typically runs a
 ``"client"`` coroutine (its operations) and a ``"help"`` daemon
@@ -196,6 +201,85 @@ class PriorityScheduler(Scheduler):
             choice = self._rng.choices(list(runnable), weights=weights, k=1)[0]
         self._last_ran[choice] = clock
         return choice
+
+
+class TraceScheduler(Scheduler):
+    """Replay a decision-index prefix, then record a fallback's choices.
+
+    A *decision trace* is a sequence of integers: entry ``i`` is the
+    index into the (sorted, deterministic) runnable list at step ``i``.
+    Because the kernel presents runnable coroutines in a fixed order,
+    the trace pins the entire interleaving of a run — this is the
+    choice-point layer that makes any run reproducible and lets
+    ``repro.explore`` enumerate, fuzz, and shrink schedules.
+
+    The scheduler replays ``prefix`` first (raising
+    :class:`SchedulerError` when an index is out of range, i.e. the
+    prefix is not realizable against this scenario), then delegates to
+    ``fallback`` — round robin unless specified, so every bounded prefix
+    extends to a *fair* completion. Every choice, scripted or delegated,
+    is appended to :attr:`trace` / :attr:`chosen`, and the runnable sets
+    of the first ``horizon`` steps are kept in :attr:`runnables` for the
+    systematic explorer's frontier expansion.
+    """
+
+    def __init__(
+        self,
+        prefix: Sequence[int] = (),
+        fallback: Optional[Scheduler] = None,
+        horizon: Optional[int] = None,
+    ):
+        self._prefix = tuple(prefix)
+        self._fallback = fallback or RoundRobinScheduler()
+        self._horizon = horizon
+        #: Index chosen at each step (prefix entries included).
+        self.trace: List[int] = []
+        #: Coroutine chosen at each step.
+        self.chosen: List[CoroutineId] = []
+        #: Runnable tuple at each of the first ``horizon`` steps.
+        self.runnables: List[Tuple[CoroutineId, ...]] = []
+        #: ``cumulative_preemptions[i]`` = preemptions among steps < i. A
+        #: *preemption* is a switch away from a coroutine that could have
+        #: continued (it is still in the runnable set).
+        self.cumulative_preemptions: List[int] = [0]
+
+    def select(self, runnable: Sequence[CoroutineId], clock: int) -> CoroutineId:
+        depth = len(self.trace)
+        if depth < len(self._prefix):
+            index = self._prefix[depth]
+            if not 0 <= index < len(runnable):
+                raise SchedulerError(
+                    f"trace index {index} out of range at step {depth}: "
+                    f"only {len(runnable)} runnable coroutines"
+                )
+            choice = runnable[index]
+        else:
+            choice = self._fallback.select(runnable, clock)
+            index = list(runnable).index(choice)
+        preempted = (
+            bool(self.chosen)
+            and choice != self.chosen[-1]
+            and self.chosen[-1] in runnable
+        )
+        self.cumulative_preemptions.append(
+            self.cumulative_preemptions[-1] + (1 if preempted else 0)
+        )
+        if self._horizon is None or depth < self._horizon:
+            self.runnables.append(tuple(runnable))
+        self.trace.append(index)
+        self.chosen.append(choice)
+        return choice
+
+    @property
+    def prefix(self) -> Tuple[int, ...]:
+        """The forced decision prefix this scheduler replays."""
+        return self._prefix
+
+    def describe(self) -> str:
+        return (
+            f"TraceScheduler(prefix_len={len(self._prefix)}, "
+            f"fallback={self._fallback.describe()})"
+        )
 
 
 def steps(cid: CoroutineId, count: int) -> List[CoroutineId]:

@@ -22,6 +22,7 @@ fault bound ``f``.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -42,6 +43,44 @@ from repro.sim.history import Annotation, History
 from repro.sim.process import Program
 from repro.sim.registers import RegisterFile, RegisterSpec
 from repro.sim.scheduler import CoroutineId, RoundRobinScheduler, Scheduler
+
+
+#: Local-variable types embedded verbatim in fingerprints; anything else
+#: is abstracted to its type name (see :meth:`System.fingerprint`).
+_PRIMITIVE_TYPES = (int, float, str, bytes, bool, type(None), frozenset, tuple)
+
+
+def _abstract_value(value: Any) -> str:
+    """Fingerprint encoding of one Python value (primitive or abstracted)."""
+    if isinstance(value, _PRIMITIVE_TYPES):
+        return repr(value)
+    return f"<{type(value).__name__}>"
+
+
+def _generator_signature(program: Any) -> Tuple[Any, ...]:
+    """Resume-point signature of a (possibly delegating) generator.
+
+    Walks the ``yield from`` chain; for each suspended frame records the
+    code object's identity, the instruction offset, and the primitive
+    locals. A finished or unstarted generator contributes its state tag.
+    """
+    parts: List[Any] = []
+    seen = 0
+    while program is not None and seen < 32:
+        seen += 1
+        frame = getattr(program, "gi_frame", None)
+        if frame is None:
+            parts.append(("done", getattr(program, "__name__", "?")))
+            break
+        local_items = tuple(
+            (key, _abstract_value(value))
+            for key, value in sorted(frame.f_locals.items())
+        )
+        # co_qualname needs 3.11; co_name keeps 3.10 working.
+        code_name = getattr(frame.f_code, "co_qualname", frame.f_code.co_name)
+        parts.append((code_name, frame.f_lasti, local_items))
+        program = getattr(program, "gi_yieldfrom", None)
+    return tuple(parts)
 
 
 @dataclass
@@ -126,6 +165,11 @@ class System:
         #: pure shared-memory systems (Send/Broadcast then deliver
         #: immediately into mailboxes).
         self.network: Any = None
+        #: Step observer hook installed by ``repro.explore``: called after
+        #: every executed step with ``(cid, effect)`` — ``effect`` is None
+        #: for the StopIteration step that retires a coroutine. Must not
+        #: mutate the system.
+        self.on_step: Optional[Callable[[CoroutineId, Any], None]] = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -213,8 +257,12 @@ class System:
                 effect = co.program.send(co.next_send)
         except StopIteration:
             co.finished = True
+            if self.on_step is not None:
+                self.on_step(cid, None)
             return True
         co.next_send = self._execute(cid, effect)
+        if self.on_step is not None:
+            self.on_step(cid, effect)
         return True
 
     def run(self, max_steps: int) -> int:
@@ -316,6 +364,67 @@ class System:
     def deliver(self, sender: int, dest: int, payload: Any) -> None:
         """Place a message into ``dest``'s mailbox (network layer hook)."""
         self._mailboxes[dest].append((sender, payload))
+
+    # ------------------------------------------------------------------
+    # State fingerprinting (repro.explore hook)
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> int:
+        """A 64-bit abstraction of the *forward-relevant* system state.
+
+        Two states with equal fingerprints behave identically (modulo the
+        abstraction below) under identical future schedules, which is
+        what the systematic explorer's memoization needs: once a
+        fingerprint has been expanded, schedules reconverging to it can
+        be pruned. The digest covers register contents, mailboxes, and
+        each coroutine's resume point — the chain of suspended generator
+        frames (code identity + instruction offset) plus their
+        *primitive* local variables (loop counters, accumulated counts).
+        Non-primitive locals are abstracted to their type name, so the
+        fingerprint is an over-approximation of state equality; the
+        explorer reports fingerprint pruning separately for this reason.
+
+        The digest also covers the history's *verdict-relevant* content
+        — each operation's identity, completion and result — because
+        exploration verdicts are predicates on the history: two states
+        with identical registers but different recorded results must
+        not be merged. Virtual times (the clock and per-event
+        timestamps) are excluded so that commuting interleavings of the
+        same events still converge; precedence differences expressed
+        purely through interval timing are the remaining approximation.
+        """
+        digest = hashlib.blake2b(digest_size=8)
+        for name in self.registers.names():
+            digest.update(repr((name, self.registers.peek(name))).encode())
+        for pid in sorted(self._mailboxes):
+            digest.update(repr((pid, self._mailboxes[pid])).encode())
+        for record in self.history.all():
+            digest.update(
+                repr(
+                    (
+                        record.op_id,
+                        record.pid,
+                        record.obj,
+                        record.op,
+                        record.args,
+                        record.complete,
+                        _abstract_value(record.result),
+                    )
+                ).encode()
+            )
+        for cid in sorted(self._coroutines):
+            co = self._coroutines[cid]
+            digest.update(
+                repr(
+                    (
+                        cid,
+                        co.started,
+                        co.finished,
+                        _generator_signature(co.program),
+                        _abstract_value(co.next_send),
+                    )
+                ).encode()
+            )
+        return int.from_bytes(digest.digest(), "big")
 
     # ------------------------------------------------------------------
     def describe(self) -> str:
