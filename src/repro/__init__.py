@@ -17,9 +17,11 @@ processes"* (PODC 2025; arXiv:2504.09805). The library provides:
   broadcast, atomic snapshot (``repro.apps``),
 * a message-passing substrate with an ``n > 3f`` SWMR-register emulation
   (``repro.mp``),
-* the experiment harness behind ``EXPERIMENTS.md`` (``repro.analysis``), and
+* the experiment harness behind ``EXPERIMENTS.md`` (``repro.analysis``),
 * a schedule-space exploration engine — bounded systematic search, swarm
-  fuzzing, counterexample shrinking (``repro.explore``).
+  fuzzing, counterexample shrinking (``repro.explore``), and
+* a differential conformance campaign layer with a persistent,
+  replayable violation corpus (``repro.campaign``).
 
 Quickstart::
 
@@ -33,6 +35,15 @@ Quickstart::
 See ``examples/quickstart.py`` for a complete runnable scenario.
 """
 
+from repro.campaign import (
+    CampaignCell,
+    CampaignReport,
+    CorpusEntry,
+    default_matrix,
+    load_corpus,
+    replay_entry,
+    run_campaign,
+)
 from repro.core import (
     AuthenticatedRegister,
     NaiveVerifiableRegister,
@@ -92,7 +103,10 @@ def build_shared_memory_system(
 __all__ = [
     "AuthenticatedRegister",
     "BOTTOM",
+    "CampaignCell",
+    "CampaignReport",
     "ConfigurationError",
+    "CorpusEntry",
     "History",
     "LinearizabilityViolation",
     "NaiveVerifiableRegister",
@@ -116,5 +130,9 @@ __all__ = [
     "TraceScheduler",
     "VerifiableRegister",
     "build_shared_memory_system",
+    "default_matrix",
+    "load_corpus",
+    "replay_entry",
+    "run_campaign",
     "__version__",
 ]

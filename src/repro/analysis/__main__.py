@@ -7,6 +7,7 @@ Usage::
     python -m repro.analysis --list          # experiment ids and titles
     python -m repro.analysis explore         # schedule-space exploration
     python -m repro.analysis explore --budget 200 --f 2
+    python -m repro.analysis campaign --smoke   # differential campaign
 
 This is the no-pytest path to EXPERIMENTS.md's tables — useful for
 quick inspection or for environments without pytest-benchmark. Each
@@ -19,6 +20,13 @@ scenario at ``n = 3f`` (where it must find a Byzantine-linearizability
 violation and shrink it to a ScriptedScheduler script) and at
 ``n = 3f + 1`` (where the same bounds must come back clean). Exit code
 0 means the theorem's shape reproduced.
+
+The ``campaign`` subcommand drives ``repro.campaign``: a differential
+conformance matrix over every ``repro.core`` implementation family,
+with discovered violations shrunk and persisted into the replayable
+``corpus/`` regression corpus. Exit code 0 means every cell matched
+the paper's expectation (and, with ``--replay``, that every committed
+corpus entry still reproduces).
 """
 
 from __future__ import annotations
@@ -150,6 +158,7 @@ def _list_experiments() -> int:
         title, _driver, _verdict = _runner(exp_id)
         print(f"{exp_id:4} {title}")
     print("explore  schedule-space exploration (see `explore --help`)")
+    print("campaign differential conformance campaign (see `campaign --help`)")
     return 0
 
 
@@ -311,12 +320,186 @@ def _explore_main(argv: Sequence[str]) -> int:
     return 0 if not found else 1
 
 
+def _campaign_main(argv: Sequence[str]) -> int:
+    """The ``campaign`` subcommand: differential matrix + corpus."""
+    from repro.campaign import (
+        IMPLEMENTATIONS,
+        default_corpus_dir,
+        default_matrix,
+        load_corpus,
+        replay_entry,
+        run_campaign,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis campaign",
+        description=(
+            "Run a differential conformance campaign: every repro.core "
+            "implementation family x scenario x engine, checked against the "
+            "repro.spec oracles, with violations shrunk into the replayable "
+            "corpus."
+        ),
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="bounded budgets and adversary grids (the CI matrix)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="override the swarm budget per cell (systematic cells get 4x)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="worker processes (default: cores, <=4)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="first fuzzing seed (default 0)",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        choices=IMPLEMENTATIONS,
+        help="restrict to an implementation family (repeatable)",
+    )
+    parser.add_argument(
+        "--corpus",
+        default=None,
+        help="corpus directory (default: the repo's corpus/)",
+    )
+    parser.add_argument(
+        "--no-corpus",
+        action="store_true",
+        help="do not persist shrunk violations",
+    )
+    parser.add_argument("--no-shrink", action="store_true", help="skip shrinking")
+    parser.add_argument(
+        "--replay",
+        action="store_true",
+        help="replay every committed corpus entry instead of running the matrix",
+    )
+    args = parser.parse_args(argv)
+    if args.budget is not None and args.budget < 1:
+        parser.error("--budget must be >= 1")
+    if args.replay:
+        ignored = [
+            flag
+            for flag, given in (
+                ("--smoke", args.smoke),
+                ("--budget", args.budget is not None),
+                ("--shards", args.shards is not None),
+                ("--seed", args.seed is not None),
+                ("--only", bool(args.only)),
+                ("--no-corpus", args.no_corpus),
+                ("--no-shrink", args.no_shrink),
+            )
+            if given
+        ]
+        if ignored:
+            parser.error(
+                f"--replay replays the whole corpus and only accepts "
+                f"--corpus; drop {', '.join(ignored)}"
+            )
+    corpus_dir = args.corpus or default_corpus_dir()
+
+    if args.replay:
+        entries = load_corpus(corpus_dir)
+        if not entries:
+            # Loud by design: CI replays the committed corpus, and a
+            # lost/ignored corpus directory must fail the step, not
+            # pass vacuously.
+            print(f"FAIL: corpus {corpus_dir} is empty; nothing to replay")
+            return 1
+        failures = 0
+        for entry in entries:
+            outcome = replay_entry(entry)
+            status = "ok" if outcome.ok else f"FAIL ({outcome.detail})"
+            print(f"replay {entry.label()}: {status}")
+            failures += 0 if outcome.ok else 1
+        print()
+        if failures:
+            print(f"FAIL: {failures}/{len(entries)} corpus entries regressed")
+            return 1
+        print(f"PASS: all {len(entries)} corpus entries still reproduce")
+        return 0
+
+    seed0 = 0 if args.seed is None else args.seed
+    cells = default_matrix(
+        smoke=args.smoke,
+        seed0=seed0,
+        swarm_budget=args.budget,
+        systematic_budget=4 * args.budget if args.budget else None,
+        implementations=args.only,
+    )
+    print(
+        f"== differential campaign: {len(cells)} cells over "
+        f"{len({cell.implementation for cell in cells})} implementation "
+        f"family(ies) =="
+    )
+    report = run_campaign(
+        cells,
+        shards=args.shards,
+        progress=print,
+        shrink_violations=not args.no_shrink,
+        corpus_dir=None if args.no_corpus else corpus_dir,
+        corpus_source=f"campaign{' --smoke' if args.smoke else ''} --seed {seed0}",
+    )
+
+    headers = (
+        "implementation",
+        "scenario",
+        "engine",
+        "runs",
+        "runs/s",
+        "violations",
+        "expected",
+        "ok",
+    )
+    rows = [
+        (
+            outcome.cell.implementation,
+            outcome.cell.scenario.label(),
+            outcome.cell.engine,
+            outcome.runs,
+            round(outcome.runs_per_sec),
+            len(outcome.violations),
+            "violation" if outcome.cell.expect_violation else "clean",
+            outcome.ok,
+        )
+        for outcome in report.outcomes
+    ]
+    print()
+    print(render_table(headers, rows, title="Differential conformance campaign"))
+    print()
+    print(report.summary())
+    for failure in report.shrink_failures:
+        print(f"  shrink failure: {failure}")
+    print()
+    if report.ok:
+        print("PASS: every cell matched the paper's expectation")
+        return 0
+    for outcome in report.mismatched:
+        print(f"FAIL: {outcome.describe()}")
+        for violation in outcome.violations:
+            print(f"  -> {violation.describe()}")
+    return 1
+
+
 def main(argv: Sequence[str]) -> int:
     """Entry point; returns a process exit code."""
     if argv and argv[0] in ("--list", "-l"):
         return _list_experiments()
     if argv and argv[0].lower() == "explore":
         return _explore_main(list(argv[1:]))
+    if argv and argv[0].lower() == "campaign":
+        return _campaign_main(list(argv[1:]))
     wanted = [arg.upper() for arg in argv] or list(ALL_IDS)
     failures: List[str] = []
     for exp_id in wanted:

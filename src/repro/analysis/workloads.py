@@ -438,11 +438,14 @@ def prepare_register_scenario(
             reader_adversary_program(name, register, pid, kind, domain),
         )
 
+    # The completion watcher for each client is its stagger wrapper when
+    # one exists; resolving that once keeps the per-step done-predicate
+    # (checked by System.run_until before every step) off the getattr
+    # chain — it is part of the campaign replay hot path.
+    watchers = [getattr(c, "_wrapper", c) for c in clients]
+
     def all_scripts_done() -> bool:
-        return all(
-            getattr(c, "_wrapper", c).done if hasattr(c, "_wrapper") else c.done
-            for c in clients
-        )
+        return all(w.done for w in watchers)
 
     return PreparedRegisterScenario(
         kind=kind,

@@ -1,0 +1,69 @@
+"""Differential conformance campaigns with a persistent violation corpus.
+
+This subpackage is the verification backbone on top of
+``repro.explore``: instead of exploring one hand-picked scenario, a
+*campaign* runs a whole matrix — every ``repro.core`` implementation
+family × scenario × engine — through the exploration engines, checks
+each run differentially against the matching ``repro.spec`` sequential
+specification, and compares the findings with what the paper proves for
+that cell (Algorithms 1–3 clean; the naive strawman broken by the
+flip-flop collusion; test-or-set violating at ``n = 3f`` and clean at
+``n = 3f + 1``).
+
+Every violation is auto-shrunk and persisted into a versioned on-disk
+corpus (``corpus/*.json``) that ``tests/test_corpus_replay.py`` replays
+as a pytest-parametrized regression suite, so a counterexample found
+once can never silently regress.
+
+Quickstart::
+
+    from repro.campaign import default_matrix, run_campaign
+
+    report = run_campaign(default_matrix(smoke=True), corpus_dir="corpus")
+    print(report.summary())
+    assert report.ok  # every cell matched the paper's expectation
+
+The CLI front end is ``python -m repro.analysis campaign``.
+"""
+
+from repro.campaign.corpus import (
+    CORPUS_VERSION,
+    CorpusEntry,
+    ReplayOutcome,
+    default_corpus_dir,
+    entry_from_shrunk,
+    entry_id_for,
+    load_corpus,
+    replay_entry,
+    save_entry,
+)
+from repro.campaign.matrix import (
+    ENGINES,
+    IMPLEMENTATIONS,
+    CampaignCell,
+    CampaignReport,
+    CellOutcome,
+    default_matrix,
+    oracle_for,
+    run_campaign,
+)
+
+__all__ = [
+    "CORPUS_VERSION",
+    "CampaignCell",
+    "CampaignReport",
+    "CellOutcome",
+    "CorpusEntry",
+    "ENGINES",
+    "IMPLEMENTATIONS",
+    "ReplayOutcome",
+    "default_corpus_dir",
+    "default_matrix",
+    "entry_from_shrunk",
+    "entry_id_for",
+    "load_corpus",
+    "oracle_for",
+    "replay_entry",
+    "run_campaign",
+    "save_entry",
+]

@@ -74,6 +74,17 @@ class VerifiableRegister(AlgorithmBase):
         super().__init__(system, name, writer=writer, f=f, initial=initial)
         #: Writer-local set ``r*`` of previously written values (line 2).
         self._written: Set[Any] = set()
+        #: Process-local shadow of ``R_1``'s intended content. Two
+        #: coroutines of the writer's process write ``R_1`` — Sign
+        #: (line 5) and the writer's own Help daemon (line 32) — and in
+        #: the paper a process is *sequential* (help steps run outside
+        #: operation intervals, Section 3.3), so their read-modify-write
+        #: pairs never interleave. The simulator schedules the two
+        #: coroutines freely, which would let one clobber the other's
+        #: update (losing a signed value forever and violating validity,
+        #: Obs 11); both therefore merge through this shared set so every
+        #: write of ``R_1`` carries the full union.
+        self._r1_shadow: Set[Any] = set()
         #: E11 ablation switch; True is the paper's algorithm.
         self.reset_set0 = reset_set0
 
@@ -124,13 +135,13 @@ class VerifiableRegister(AlgorithmBase):
         self._require_writer(pid)
         v = freeze(v)
         if v in self._written:  # line 4: if v in r*
-            current = as_frozenset(
-                (yield ReadRegister(self.reg_witness(self.writer)))
+            # line 5: R1 <- R1 U {v}, via the process-local shadow (see
+            # __init__): the writer's Help daemon also writes R1, so a
+            # read-modify-write here could be interleaved and lost.
+            self._r1_shadow.add(v)
+            yield WriteRegister(
+                self.reg_witness(self.writer), frozenset(self._r1_shadow)
             )
-            # line 5: R1 <- R1 U {v} (owner read-modify-write; atomicity
-            # of the pair is irrelevant because only the sequential
-            # writer ever writes R1).
-            yield WriteRegister(self.reg_witness(self.writer), current | {v})
             return SUCCESS  # line 6
         return FAIL  # lines 7-8
 
@@ -233,7 +244,15 @@ class VerifiableRegister(AlgorithmBase):
                 >= self.f + 1
             }
             own_now = as_frozenset((yield ReadRegister(self.reg_witness(pid))))
-            yield WriteRegister(self.reg_witness(pid), own_now | adopted)  # line 32
+            if pid == self.writer:
+                # R1's other writer is Sign on the same process; merge
+                # through the shared shadow so a concurrently signed
+                # value is never clobbered (see __init__).
+                self._r1_shadow |= adopted
+                merged = own_now | frozenset(self._r1_shadow)
+            else:
+                merged = own_now | adopted
+            yield WriteRegister(self.reg_witness(pid), merged)  # line 32
             own_published = yield ReadRegister(self.reg_witness(pid))  # line 33
             for k in askers:  # line 34
                 yield WriteRegister(

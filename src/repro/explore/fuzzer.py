@@ -201,6 +201,21 @@ def default_shards() -> int:
     return max(1, min(4, os.cpu_count() or 1))
 
 
+def pool_context():
+    """The multiprocessing context every exploration pool uses.
+
+    Fork is preferred where available (scenarios close over in-process
+    registries, and fork start-up is what makes short campaigns cheap);
+    one helper so platform fixes apply to the fuzzer and the campaign
+    layer alike.
+    """
+    import multiprocessing
+
+    return multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+    )
+
+
 def fuzz(
     scenarios: Sequence[Scenario] | Scenario,
     budget: int = 400,
@@ -236,12 +251,7 @@ def fuzz(
     if shard_count == 1:
         shard_results = [_run_shard(payloads[0], stop_on_violation)]
     else:
-        import multiprocessing
-
-        context = multiprocessing.get_context(
-            "fork" if "fork" in multiprocessing.get_all_start_methods() else None
-        )
-        with context.Pool(processes=shard_count) as pool:
+        with pool_context().Pool(processes=shard_count) as pool:
             shard_results = pool.map(_run_shard, payloads)
     elapsed = time.perf_counter() - started
 
@@ -257,7 +267,8 @@ def fuzz(
         report.incomplete += result.incomplete
         for violation in result.violations:
             key = violation.fingerprint()
-            report.violation_counts[key] = report.violation_counts.get(key, 0) + 1
-            if key not in {v.fingerprint() for v in report.violations}:
+            count = report.violation_counts.get(key, 0) + 1
+            report.violation_counts[key] = count
+            if count == 1:
                 report.violations.append(violation)
     return report

@@ -16,6 +16,12 @@ silently drifts to a different bug):
    the schedule toward "first runnable coroutine" so equivalent
    minima render identically.
 
+The three phases repeat until a full pass leaves the trace unchanged
+(or the replay budget runs out): normalization can re-open truncation
+or removal opportunities, and running to this fixpoint makes shrinking
+*idempotent* — re-shrinking an already-shrunk trace is a no-op, which
+keeps corpus entries stable across campaigns.
+
 The result converts to a :class:`repro.sim.ScriptedScheduler` script —
 the explicit ``(pid, role)`` step list the repo's regression tests are
 written in — via :meth:`ShrunkViolation.script_source`.
@@ -32,6 +38,26 @@ from repro.explore.explorer import execute_trace
 from repro.explore.scenarios import Scenario, Violation
 
 
+def render_script_source(
+    script: Sequence[CoroutineId], comments: Sequence[str]
+) -> str:
+    """Python source for a ScriptedScheduler reproducing a violation.
+
+    One renderer for every surface that emits replay scripts (shrunk
+    violations, corpus entries), so the rendered shape — non-strict
+    script with a fair round-robin completion — can never drift
+    between them.
+    """
+    steps = ",\n    ".join(repr(cid) for cid in script)
+    body = f"\n    {steps},\n" if script else ""
+    header = "".join(f"# {line}\n" for line in comments)
+    return (
+        f"{header}"
+        f"scheduler = ScriptedScheduler([{body}], "
+        f"fallback=RoundRobinScheduler(), strict=False)\n"
+    )
+
+
 @dataclass
 class ShrunkViolation:
     """A minimized counterexample, ready to paste into a regression test."""
@@ -44,15 +70,14 @@ class ShrunkViolation:
 
     def script_source(self) -> str:
         """Python source for a ScriptedScheduler reproducing the violation."""
-        steps = ",\n    ".join(repr(cid) for cid in self.script)
-        body = f"\n    {steps},\n" if self.script else ""
-        return (
-            f"# Violating schedule found by repro.explore for "
-            f"{self.original.scenario}:\n"
-            f"#   {self.reason}\n"
-            f"# Force these steps, then let round robin finish the run.\n"
-            f"scheduler = ScriptedScheduler([{body}], "
-            f"fallback=RoundRobinScheduler(), strict=False)\n"
+        return render_script_source(
+            self.script,
+            (
+                f"Violating schedule found by repro.explore for "
+                f"{self.original.scenario}:",
+                f"  {self.reason}",
+                "Force these steps, then let round robin finish the run.",
+            ),
         )
 
     def describe(self) -> str:
@@ -103,45 +128,53 @@ def shrink(
             "is the scenario deterministic?"
         )
 
-    # Phase 1: truncation by binary search — the shortest prefix whose
-    # fair completion still violates.
-    low, high = 0, len(current)
-    while low < high and replays < max_replays:
-        mid = (low + high) // 2
-        if attempt(current[:mid]) is not None:
-            high = mid
-        else:
-            low = mid + 1
-    current = current[:high]
+    # Repeat the phase pipeline until a full pass changes nothing (the
+    # fixpoint that makes shrinking idempotent) or the budget is spent.
+    while replays < max_replays:
+        before = list(current)
 
-    # Phase 2: ddmin — remove chunks at doubling granularity.
-    granularity = 2
-    while granularity <= max(len(current), 1) and replays < max_replays:
-        chunk = max(1, len(current) // granularity)
-        removed_any = False
-        start = 0
-        while start < len(current) and replays < max_replays:
-            candidate = current[:start] + current[start + chunk:]
-            if candidate != current and attempt(candidate) is not None:
-                current = candidate
-                removed_any = True
+        # Phase 1: truncation by binary search — the shortest prefix
+        # whose fair completion still violates.
+        low, high = 0, len(current)
+        while low < high and replays < max_replays:
+            mid = (low + high) // 2
+            if attempt(current[:mid]) is not None:
+                high = mid
             else:
-                start += chunk
-        if not removed_any:
-            if chunk == 1:
-                break
-            granularity *= 2
+                low = mid + 1
+        current = current[:high]
 
-    # Phase 3: normalize indices toward 0 for a canonical rendering.
-    for position in range(len(current)):
-        if replays >= max_replays:
-            break
-        for lower in range(current[position]):
-            candidate = list(current)
-            candidate[position] = lower
-            if attempt(candidate) is not None:
-                current = candidate
+        # Phase 2: ddmin — remove chunks at doubling granularity.
+        granularity = 2
+        while granularity <= max(len(current), 1) and replays < max_replays:
+            chunk = max(1, len(current) // granularity)
+            removed_any = False
+            start = 0
+            while start < len(current) and replays < max_replays:
+                candidate = current[:start] + current[start + chunk:]
+                if candidate != current and attempt(candidate) is not None:
+                    current = candidate
+                    removed_any = True
+                else:
+                    start += chunk
+            if not removed_any:
+                if chunk == 1:
+                    break
+                granularity *= 2
+
+        # Phase 3: normalize indices toward 0 for a canonical rendering.
+        for position in range(len(current)):
+            if replays >= max_replays:
                 break
+            for lower in range(current[position]):
+                candidate = list(current)
+                candidate[position] = lower
+                if attempt(candidate) is not None:
+                    current = candidate
+                    break
+
+        if current == before:
+            break
 
     final = attempt(current)
     if final is None:  # pragma: no cover - attempt() above already passed

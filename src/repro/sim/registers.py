@@ -110,6 +110,14 @@ class RegisterFile:
         """All installed register names, in installation order."""
         return tuple(self._specs)
 
+    def items(self) -> Iterable[Tuple[str, Any]]:
+        """``(name, current value)`` pairs in installation order.
+
+        A copy-free view for the kernel's state fingerprint; callers
+        must not mutate while iterating.
+        """
+        return self._values.items()
+
     # ------------------------------------------------------------------
     # Access (called by the kernel only)
     # ------------------------------------------------------------------

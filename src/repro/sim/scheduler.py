@@ -244,7 +244,8 @@ class TraceScheduler(Scheduler):
         self.cumulative_preemptions: List[int] = [0]
 
     def select(self, runnable: Sequence[CoroutineId], clock: int) -> CoroutineId:
-        depth = len(self.trace)
+        trace = self.trace
+        depth = len(trace)
         if depth < len(self._prefix):
             index = self._prefix[depth]
             if not 0 <= index < len(runnable):
@@ -255,19 +256,18 @@ class TraceScheduler(Scheduler):
             choice = runnable[index]
         else:
             choice = self._fallback.select(runnable, clock)
-            index = list(runnable).index(choice)
+            index = runnable.index(choice)
+        chosen = self.chosen
+        previous = chosen[-1] if chosen else None
         preempted = (
-            bool(self.chosen)
-            and choice != self.chosen[-1]
-            and self.chosen[-1] in runnable
+            previous is not None and choice != previous and previous in runnable
         )
-        self.cumulative_preemptions.append(
-            self.cumulative_preemptions[-1] + (1 if preempted else 0)
-        )
+        preemptions = self.cumulative_preemptions
+        preemptions.append(preemptions[-1] + (1 if preempted else 0))
         if self._horizon is None or depth < self._horizon:
             self.runnables.append(tuple(runnable))
-        self.trace.append(index)
-        self.chosen.append(choice)
+        trace.append(index)
+        chosen.append(choice)
         return choice
 
     @property

@@ -156,6 +156,12 @@ class System:
         self.clock = 0
         self.metrics = StepMetrics()
         self._coroutines: Dict[CoroutineId, _Coroutine] = {}
+        #: Sorted runnable tuple, rebuilt lazily. Sorting every step was
+        #: the kernel's hottest line under campaign replay; the cache is
+        #: invalidated whenever membership changes (spawn / despawn /
+        #: coroutine retirement), which is rare compared to steps. A
+        #: tuple, so the shared object handed to schedulers is immutable.
+        self._runnable_cache: Optional[Tuple[CoroutineId, ...]] = None
         self._byzantine: set[int] = set()
         self._enforce_bound = enforce_bound
         self._mailboxes: Dict[int, List[Tuple[int, Any]]] = {
@@ -220,24 +226,37 @@ class System:
         if cid in self._coroutines:
             raise ConfigurationError(f"coroutine {cid!r} already spawned")
         self._coroutines[cid] = _Coroutine(cid=cid, program=program)
+        self._runnable_cache = None
         return cid
 
     def despawn(self, cid: CoroutineId) -> None:
         """Remove a coroutine (e.g. to crash a process mid-run)."""
         self._coroutines.pop(cid, None)
+        self._runnable_cache = None
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def runnable(self) -> List[CoroutineId]:
         """Coroutines that can take a step, in deterministic order."""
-        return sorted(
-            cid for cid, co in self._coroutines.items() if not co.finished
-        )
+        return list(self._runnable())
+
+    def _runnable(self) -> Tuple[CoroutineId, ...]:
+        """The cached runnable tuple the kernel hands to schedulers."""
+        cache = self._runnable_cache
+        if cache is None:
+            cache = self._runnable_cache = tuple(
+                sorted(
+                    cid
+                    for cid, co in self._coroutines.items()
+                    if not co.finished
+                )
+            )
+        return cache
 
     def step(self) -> bool:
         """Advance one coroutine by one effect; False if none runnable."""
-        runnable = self.runnable()
+        runnable = self._runnable()
         if not runnable:
             return False
         cid = self.scheduler.select(runnable, self.clock)
@@ -257,6 +276,7 @@ class System:
                 effect = co.program.send(co.next_send)
         except StopIteration:
             co.finished = True
+            self._runnable_cache = None
             if self.on_step is not None:
                 self.on_step(cid, None)
             return True
@@ -311,47 +331,87 @@ class System:
     # Effect interpreter
     # ------------------------------------------------------------------
     def _execute(self, cid: CoroutineId, effect: Effect) -> Any:
-        pid, _role = cid
-        if isinstance(effect, ReadRegister):
-            self.metrics.reads += 1
-            return self.registers.read(pid, effect.register, self.clock)
-        if isinstance(effect, WriteRegister):
-            self.metrics.writes += 1
-            self.registers.write(pid, effect.register, effect.value, self.clock)
-            return None
-        if isinstance(effect, Pause):
-            self.metrics.pauses += 1
-            return None
-        if isinstance(effect, Invoke):
-            self.metrics.invocations += 1
-            return self.history.record_invocation(
-                pid, effect.obj, effect.op, effect.args, self.clock
-            )
-        if isinstance(effect, Respond):
-            self.metrics.responses += 1
-            self.history.record_response(effect.op_id, effect.result, self.clock)
-            return None
-        if isinstance(effect, Annotate):
-            self.history.record_annotation(
-                Annotation(time=self.clock, pid=pid, label=effect.label,
-                           payload=effect.payload)
-            )
-            return self.clock
-        if isinstance(effect, Send):
+        handler = self._HANDLERS.get(type(effect))
+        if handler is None:
+            # Effect subclasses dispatch through their nearest handled
+            # base; the resolution is cached (class-wide) per concrete
+            # type.
+            for base in type(effect).__mro__[1:]:
+                found = self._HANDLERS.get(base)
+                if found is not None:
+                    self._HANDLERS[type(effect)] = found
+                    handler = found
+                    break
+            else:
+                raise ConfigurationError(
+                    f"unknown effect {effect!r} from {cid!r}"
+                )
+        return handler(self, cid[0], effect)
+
+    def _exec_read(self, pid: int, effect: ReadRegister) -> Any:
+        self.metrics.reads += 1
+        return self.registers.read(pid, effect.register, self.clock)
+
+    def _exec_write(self, pid: int, effect: WriteRegister) -> None:
+        self.metrics.writes += 1
+        self.registers.write(pid, effect.register, effect.value, self.clock)
+        return None
+
+    def _exec_pause(self, pid: int, effect: Pause) -> None:
+        self.metrics.pauses += 1
+        return None
+
+    def _exec_invoke(self, pid: int, effect: Invoke) -> int:
+        self.metrics.invocations += 1
+        return self.history.record_invocation(
+            pid, effect.obj, effect.op, effect.args, self.clock
+        )
+
+    def _exec_respond(self, pid: int, effect: Respond) -> None:
+        self.metrics.responses += 1
+        self.history.record_response(effect.op_id, effect.result, self.clock)
+        return None
+
+    def _exec_annotate(self, pid: int, effect: Annotate) -> int:
+        self.history.record_annotation(
+            Annotation(time=self.clock, pid=pid, label=effect.label,
+                       payload=effect.payload)
+        )
+        return self.clock
+
+    def _exec_send(self, pid: int, effect: Send) -> None:
+        self.metrics.messages_sent += 1
+        self._send(pid, effect.to, effect.payload)
+        return None
+
+    def _exec_broadcast(self, pid: int, effect: Broadcast) -> None:
+        for dest in self.pids:
             self.metrics.messages_sent += 1
-            self._send(pid, effect.to, effect.payload)
-            return None
-        if isinstance(effect, Broadcast):
-            for dest in self.pids:
-                self.metrics.messages_sent += 1
-                self._send(pid, dest, effect.payload)
-            return None
-        if isinstance(effect, ReceiveAll):
-            box = self._mailboxes[pid]
-            delivered = tuple(box)
-            box.clear()
-            return delivered
-        raise ConfigurationError(f"unknown effect {effect!r} from {cid!r}")
+            self._send(pid, dest, effect.payload)
+        return None
+
+    def _exec_receive_all(self, pid: int, effect: ReceiveAll) -> Tuple:
+        box = self._mailboxes[pid]
+        delivered = tuple(box)
+        box.clear()
+        return delivered
+
+    #: Effect-type dispatch table, class-level so instances stay
+    #: cycle-free (a per-instance dict of bound methods would keep every
+    #: System alive until a GC cycle pass — real pressure when campaigns
+    #: build thousands of short-lived systems). Handlers are plain
+    #: functions called as ``handler(self, pid, effect)``.
+    _HANDLERS: Dict[type, Callable[["System", int, Any], Any]] = {
+        ReadRegister: _exec_read,
+        WriteRegister: _exec_write,
+        Pause: _exec_pause,
+        Invoke: _exec_invoke,
+        Respond: _exec_respond,
+        Annotate: _exec_annotate,
+        Send: _exec_send,
+        Broadcast: _exec_broadcast,
+        ReceiveAll: _exec_receive_all,
+    }
 
     def _send(self, sender: int, dest: int, payload: Any) -> None:
         if dest not in self.pids:
@@ -392,38 +452,33 @@ class System:
         same events still converge; precedence differences expressed
         purely through interval timing are the remaining approximation.
         """
-        digest = hashlib.blake2b(digest_size=8)
-        for name in self.registers.names():
-            digest.update(repr((name, self.registers.peek(name))).encode())
-        for pid in sorted(self._mailboxes):
-            digest.update(repr((pid, self._mailboxes[pid])).encode())
-        for record in self.history.all():
-            digest.update(
-                repr(
-                    (
-                        record.op_id,
-                        record.pid,
-                        record.obj,
-                        record.op,
-                        record.args,
-                        record.complete,
-                        _abstract_value(record.result),
-                    )
-                ).encode()
-            )
-        for cid in sorted(self._coroutines):
-            co = self._coroutines[cid]
-            digest.update(
-                repr(
-                    (
-                        cid,
-                        co.started,
-                        co.finished,
-                        _generator_signature(co.program),
-                        _abstract_value(co.next_send),
-                    )
-                ).encode()
-            )
+        state = (
+            tuple(self.registers.items()),
+            tuple(sorted(self._mailboxes.items())),
+            tuple(
+                (
+                    record.op_id,
+                    record.pid,
+                    record.obj,
+                    record.op,
+                    record.args,
+                    record.complete,
+                    _abstract_value(record.result),
+                )
+                for record in self.history.all()
+            ),
+            tuple(
+                (
+                    cid,
+                    co.started,
+                    co.finished,
+                    _generator_signature(co.program),
+                    _abstract_value(co.next_send),
+                )
+                for cid, co in sorted(self._coroutines.items())
+            ),
+        )
+        digest = hashlib.blake2b(repr(state).encode(), digest_size=8)
         return int.from_bytes(digest.digest(), "big")
 
     # ------------------------------------------------------------------

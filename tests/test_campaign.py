@@ -1,0 +1,372 @@
+"""The differential conformance campaign layer (repro.campaign).
+
+Covers the matrix builder (all six implementation families, both
+engines, differential expectations), the cell runner and campaign
+aggregation (including multiprocessing fan-out and expectation
+mismatches), the corpus round trip (save / load / replay / dedupe), and
+the CLI front end.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.explore import execute_trace, fuzz, make_scenario, shrink
+from repro.campaign import (
+    CORPUS_VERSION,
+    CampaignCell,
+    CorpusEntry,
+    IMPLEMENTATIONS,
+    default_matrix,
+    entry_from_shrunk,
+    entry_id_for,
+    load_corpus,
+    oracle_for,
+    replay_entry,
+    run_campaign,
+    save_entry,
+)
+from repro.spec import (
+    AuthenticatedRegisterSpec,
+    StickyRegisterSpec,
+    TestOrSetSpec,
+    VerifiableRegisterSpec,
+)
+
+#: A fast known-violating cell: the naive strawman under the flip-flop
+#: collusion breaks almost every schedule, so tiny budgets suffice.
+NAIVE_ATTACK = make_scenario(
+    "register",
+    kind="naive-quorum",
+    n=4,
+    seed=0,
+    reader_adversaries=((4, "flipflop"),),
+)
+
+
+def naive_cell(budget=6, expect=True):
+    return CampaignCell(
+        implementation="naive",
+        scenario=NAIVE_ATTACK,
+        engine="swarm",
+        budget=budget,
+        expect_violation=expect,
+    )
+
+
+class TestMatrix:
+    def test_default_matrix_covers_every_implementation(self):
+        cells = default_matrix()
+        assert {cell.implementation for cell in cells} == set(IMPLEMENTATIONS)
+        assert {cell.engine for cell in cells} == {"swarm", "systematic"}
+
+    def test_matrix_encodes_the_papers_boundary(self):
+        cells = default_matrix(smoke=True)
+        expectations = {
+            (cell.implementation, cell.scenario.label()): cell.expect_violation
+            for cell in cells
+        }
+        # Theorem 29: violating at n = 3f, clean at n = 3f + 1.
+        assert expectations[("test_or_set", "theorem29(f=1)")] is True
+        assert (
+            expectations[("test_or_set", "theorem29(extra_correct=True,f=1)")]
+            is False
+        )
+        # Algorithms 1-3 and the baseline are never expected to violate.
+        for (implementation, _label), expect in expectations.items():
+            if implementation in (
+                "verifiable",
+                "authenticated",
+                "sticky",
+                "signature_baseline",
+            ):
+                assert expect is False
+
+    def test_implementation_filter_and_validation(self):
+        cells = default_matrix(implementations=("naive", "test_or_set"))
+        assert {cell.implementation for cell in cells} == {"naive", "test_or_set"}
+        with pytest.raises(ConfigurationError):
+            default_matrix(implementations=("quantum",))
+
+    def test_oracle_mapping_is_differential(self):
+        # The strawman and the signature baseline are judged against the
+        # same spec as Algorithm 1 — that is what makes the check
+        # differential rather than per-implementation.
+        assert isinstance(oracle_for("naive"), VerifiableRegisterSpec)
+        assert isinstance(oracle_for("verifiable"), VerifiableRegisterSpec)
+        assert isinstance(
+            oracle_for("signature_baseline"), VerifiableRegisterSpec
+        )
+        assert isinstance(oracle_for("authenticated"), AuthenticatedRegisterSpec)
+        assert isinstance(oracle_for("sticky"), StickyRegisterSpec)
+        assert isinstance(oracle_for("test_or_set"), TestOrSetSpec)
+        with pytest.raises(ConfigurationError):
+            oracle_for("quantum")
+
+    def test_oracle_mapping_agrees_with_the_runtime_checkers(self):
+        # oracle_for documents what the campaign checks; the register
+        # cells are actually judged through workloads.checker_for. Two
+        # implementations share an oracle iff their kinds share a
+        # checker pair — this pins the two mappings together so they
+        # cannot drift independently.
+        from repro.analysis.workloads import checker_for
+        from repro.campaign.matrix import _REGISTER_KIND
+
+        register_impls = sorted(_REGISTER_KIND)
+        for a in register_impls:
+            for b in register_impls:
+                same_oracle = type(oracle_for(a)) is type(oracle_for(b))
+                same_checker = checker_for(_REGISTER_KIND[a]) == checker_for(
+                    _REGISTER_KIND[b]
+                )
+                assert same_oracle == same_checker, (a, b)
+
+
+class TestRunCampaign:
+    def test_finds_shrinks_and_persists(self, tmp_path):
+        report = run_campaign(
+            [naive_cell()],
+            shards=1,
+            corpus_dir=tmp_path,
+            max_shrink_replays=150,
+        )
+        assert report.ok, report.summary()
+        assert report.runs >= 1 and report.runs_per_sec > 0
+        assert len(report.shrunk) == 1
+        assert len(report.corpus_written) == 1
+        (entry,) = load_corpus(tmp_path)
+        assert entry.scenario == "register"
+        assert replay_entry(entry).ok
+
+    def test_second_campaign_does_not_churn_the_corpus(self, tmp_path):
+        first = run_campaign(
+            [naive_cell()], shards=1, corpus_dir=tmp_path, max_shrink_replays=150
+        )
+        assert first.corpus_written
+        (path,) = [p for p in tmp_path.glob("*.json")]
+        before = path.read_text()
+        second = run_campaign(
+            [naive_cell()], shards=1, corpus_dir=tmp_path, max_shrink_replays=150
+        )
+        assert not second.corpus_written
+        assert second.corpus_existing == 1
+        assert path.read_text() == before
+
+    def test_expectation_mismatch_fails_the_campaign(self):
+        # A clean scenario expected to violate: 2 runs cannot find a
+        # violation in Algorithm 1, so the cell must report a mismatch.
+        cell = CampaignCell(
+            implementation="verifiable",
+            scenario=make_scenario("register", kind="verifiable", n=4, seed=0),
+            engine="swarm",
+            budget=2,
+            expect_violation=True,
+        )
+        report = run_campaign([cell], shards=1, shrink_violations=False)
+        assert not report.ok
+        assert report.mismatched[0].cell is cell
+
+    def test_sharded_campaign_matches_inline_findings(self):
+        cells = [
+            naive_cell(budget=4),
+            CampaignCell(
+                implementation="test_or_set",
+                scenario=make_scenario("theorem29", f=1, extra_correct=True),
+                engine="swarm",
+                budget=10,
+                expect_violation=False,
+            ),
+        ]
+        inline = run_campaign(cells, shards=1, shrink_violations=False)
+        sharded = run_campaign(cells, shards=2, shrink_violations=False)
+        assert sharded.shards == 2
+        assert [o.cell for o in sharded.outcomes] == [o.cell for o in inline.outcomes]
+        assert [
+            sorted(v.fingerprint() for v in o.violations)
+            for o in sharded.outcomes
+        ] == [
+            sorted(v.fingerprint() for v in o.violations)
+            for o in inline.outcomes
+        ]
+
+    def test_systematic_engine_cell(self):
+        cell = CampaignCell(
+            implementation="test_or_set",
+            scenario=make_scenario("theorem29", f=1),
+            engine="systematic",
+            budget=300,
+            expect_violation=True,
+        )
+        report = run_campaign([cell], shards=1, shrink_violations=False)
+        assert report.ok, report.summary()
+        assert report.outcomes[0].violations
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_campaign([], shards=1)
+
+    def test_duplicate_cells_keep_separate_outcomes(self):
+        # Equal cells hash equal; aggregation must still report one
+        # outcome per matrix position, through the pool too.
+        cells = [naive_cell(budget=3), naive_cell(budget=3)]
+        report = run_campaign(cells, shards=2, shrink_violations=False)
+        assert len(report.outcomes) == 2
+        assert all(outcome.runs >= 1 for outcome in report.outcomes)
+        assert report.runs == sum(o.runs for o in report.outcomes)
+
+
+class TestCorpus:
+    @pytest.fixture(scope="class")
+    def shrunk(self):
+        scenario = NAIVE_ATTACK
+        report = fuzz(scenario, budget=6, shards=1, stop_on_violation=True)
+        assert report.violations
+        return scenario, shrink(scenario, report.violations[0], max_replays=150)
+
+    def test_entry_round_trips_through_json(self, shrunk, tmp_path):
+        scenario, minimized = shrunk
+        entry = entry_from_shrunk(scenario, minimized, source="unit test")
+        path, written = save_entry(tmp_path, entry)
+        assert written and path.exists()
+        (loaded,) = load_corpus(tmp_path)
+        assert loaded == entry
+        # Params survive the JSON round trip as hashable tuples, so the
+        # scenario label (and with it the fingerprint) is unchanged.
+        assert loaded.scenario_spec().label() == scenario.label()
+
+    def test_replay_detects_clean_and_drifted_traces(self, shrunk):
+        scenario, minimized = shrunk
+        entry = entry_from_shrunk(scenario, minimized)
+        assert replay_entry(entry).ok
+        drifted = CorpusEntry(
+            entry_id=entry.entry_id,
+            scenario=entry.scenario,
+            params=entry.params,
+            trace=entry.trace,
+            reason=entry.reason,
+            fingerprint="register:not-this-class",
+        )
+        outcome = replay_entry(drifted)
+        assert not outcome.ok and "drifted" in outcome.detail
+        clean = CorpusEntry(
+            entry_id="deadbeef0000",
+            scenario="theorem29",
+            params=(("extra_correct", True), ("f", 1)),
+            trace=(),
+            reason="never",
+            fingerprint="theorem29(extra_correct=True,f=1):never",
+        )
+        outcome = replay_entry(clean)
+        assert not outcome.ok and "no longer violates" in outcome.detail
+
+    def test_entry_ids_are_stable(self, shrunk):
+        scenario, minimized = shrunk
+        first = entry_from_shrunk(scenario, minimized)
+        second = entry_from_shrunk(scenario, minimized)
+        assert first.entry_id == second.entry_id
+        assert first.entry_id == entry_id_for(scenario, first.fingerprint)
+
+    def test_wrong_version_is_rejected(self, tmp_path):
+        (tmp_path / "bad.json").write_text(
+            json.dumps({"version": CORPUS_VERSION + 1, "scenario": "theorem29"})
+        )
+        with pytest.raises(ConfigurationError, match="version"):
+            load_corpus(tmp_path)
+
+    def test_unknown_scenario_is_rejected(self, tmp_path):
+        (tmp_path / "bad.json").write_text(
+            json.dumps(
+                {
+                    "version": CORPUS_VERSION,
+                    "entry_id": "x",
+                    "scenario": "nope",
+                    "params": [],
+                    "trace": [],
+                    "reason": "",
+                    "fingerprint": "",
+                }
+            )
+        )
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            load_corpus(tmp_path)
+
+    def test_missing_directory_is_an_empty_corpus(self, tmp_path):
+        assert load_corpus(tmp_path / "absent") == []
+
+    def test_script_source_renders_scripted_scheduler(self, shrunk):
+        scenario, minimized = shrunk
+        entry = entry_from_shrunk(scenario, minimized)
+        source = entry.script_source()
+        assert "ScriptedScheduler" in source and entry.entry_id in source
+
+
+class TestCampaignCli:
+    def test_list_mentions_campaign(self, capsys):
+        from repro.analysis.__main__ import main
+
+        assert main(["--list"]) == 0
+        assert "campaign" in capsys.readouterr().out
+
+    def test_campaign_subset_passes_and_writes_corpus(self, tmp_path, capsys):
+        from repro.analysis.__main__ import main
+
+        code = main(
+            [
+                "campaign",
+                "--only",
+                "naive",
+                "--budget",
+                "8",
+                "--corpus",
+                str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "PASS" in out
+        entries = load_corpus(tmp_path)
+        assert entries, "the naive flip-flop violation must reach the corpus"
+        assert all(replay_entry(entry).ok for entry in entries)
+
+    def test_campaign_replay_mode(self, tmp_path, capsys):
+        from repro.analysis.__main__ import main
+
+        # An empty corpus fails loudly: CI replays the committed corpus,
+        # and a lost corpus directory must not pass vacuously.
+        assert main(["campaign", "--replay", "--corpus", str(tmp_path)]) == 1
+        report = run_campaign(
+            [naive_cell()], shards=1, corpus_dir=tmp_path, max_shrink_replays=150
+        )
+        assert report.corpus_written
+        capsys.readouterr()
+        assert main(["campaign", "--replay", "--corpus", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "still reproduce" in out
+
+    def test_replay_rejects_matrix_flags(self, tmp_path, capsys):
+        from repro.analysis.__main__ import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "--replay", "--only", "naive"])
+        assert excinfo.value.code == 2
+        assert "--replay" in capsys.readouterr().err
+
+    def test_campaign_help_exits_cleanly(self):
+        from repro.analysis.__main__ import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "--help"])
+        assert excinfo.value.code == 0
+
+
+def test_committed_corpus_has_the_known_violations():
+    """The repo ships a corpus seeded with both paper-expected bugs."""
+    from repro.campaign import default_corpus_dir
+
+    entries = load_corpus(default_corpus_dir())
+    scenarios = {entry.scenario for entry in entries}
+    assert "theorem29" in scenarios, "Theorem 29 relay violation must be recorded"
+    assert "register" in scenarios, "naive strawman violation must be recorded"

@@ -1,0 +1,60 @@
+"""Replay the committed violation corpus (corpus/*.json).
+
+Every corpus entry is a shrunk counterexample some campaign once found:
+a scenario spec plus a minimized scheduler decision trace whose fair
+completion violated a named property. This suite replays each entry
+through :class:`repro.sim.TraceScheduler` and asserts the *same
+violation class* reappears — so a past counterexample can never
+silently regress: if a change to the simulator, the schedulers, the
+scenario builders or the spec checkers makes an entry stop reproducing
+(or drift to a different violation class), the parametrized test for
+that entry fails with the recorded reason.
+
+To intentionally retire an entry (e.g. after fixing a strawman), delete
+its JSON file in the same change and say why in the commit message.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import load_corpus, replay_entry
+
+#: The committed corpus at the repository root.
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_committed_and_nonempty():
+    """The repo ships its known counterexamples; an empty corpus means
+    the campaign layer lost them."""
+    assert ENTRIES, f"no corpus entries under {CORPUS_DIR}"
+
+
+def test_corpus_entry_ids_are_unique():
+    ids = [entry.entry_id for entry in ENTRIES]
+    assert len(ids) == len(set(ids))
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=lambda entry: entry.label())
+def test_corpus_entry_still_reproduces(entry):
+    outcome = replay_entry(entry)
+    assert outcome.ok, (
+        f"corpus entry {entry.label()} regressed: {outcome.detail}\n"
+        f"recorded reason: {entry.reason}\n"
+        f"replay script:\n{entry.script_source()}"
+    )
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=lambda entry: entry.label())
+def test_corpus_replay_is_deterministic(entry):
+    """Two replays of the same trace must agree event for event — the
+    property the whole record/replay corpus rests on."""
+    first = replay_entry(entry)
+    second = replay_entry(entry)
+    assert first.ok and second.ok
+    assert first.violation.reason == second.violation.reason
+    assert first.violation.trace == second.violation.trace

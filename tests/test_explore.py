@@ -257,6 +257,58 @@ class TestShrinker:
             shrink(scenario, bogus)
 
 
+class TestShrinkerProperties:
+    """ddmin-output properties: reproduction and idempotence.
+
+    The shrinker runs its phase pipeline to a fixpoint, so for *every*
+    violating seed: (a) the minimized trace still reproduces the same
+    violation class, and (b) shrinking an already-shrunk trace is a
+    no-op — the property that keeps corpus entries stable across
+    campaigns. Checked over the first few violating fuzz seeds rather
+    than one hand-picked run.
+    """
+
+    SCENARIO = make_scenario("theorem29", f=1)
+
+    @pytest.fixture(scope="class")
+    def violations(self):
+        found = []
+        for seed in range(200):
+            violation, _steps, _completed = run_one_fuzz(self.SCENARIO, seed)
+            if violation is not None:
+                found.append(violation)
+            if len(found) == 3:
+                break
+        assert found, "no violating fuzz seed in range — fuzzer regression?"
+        return found
+
+    def test_ddmin_output_still_reproduces_the_violation(self, violations):
+        for violation in violations:
+            shrunk = shrink(self.SCENARIO, violation)
+            assert len(shrunk.trace) <= len(violation.trace)
+            record = execute_trace(self.SCENARIO, shrunk.trace)
+            assert record.violation is not None
+            assert record.violation.fingerprint() == violation.fingerprint()
+
+    def test_shrinking_a_shrunk_trace_is_a_noop(self, violations):
+        for violation in violations:
+            shrunk = shrink(self.SCENARIO, violation)
+            again = shrink(
+                self.SCENARIO,
+                Violation(
+                    scenario=self.SCENARIO.label(),
+                    reason=shrunk.reason,
+                    trace=shrunk.trace,
+                    schedule="shrunk",
+                ),
+            )
+            assert again.trace == shrunk.trace
+            assert again.reason == shrunk.reason
+            # An already-minimal trace needs only the fixpoint check: a
+            # single pass over the pipeline, far below the replay budget.
+            assert again.replays <= shrunk.replays
+
+
 # ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------

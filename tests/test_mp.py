@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.campaign import oracle_for
 from repro.core import VerifiableRegister
 from repro.errors import ConfigurationError, NetworkError
 from repro.mp import (
@@ -21,7 +22,9 @@ from repro.mp import (
     translated_help,
 )
 from repro.sim import Broadcast, FunctionClient, Pause, ReceiveAll, Send, System
+from repro.sim.effects import Invoke, Respond
 from repro.sim.process import idle_forever
+from repro.spec import RegularRegisterSpec, check_linearizable
 
 
 def mp_system(n=4, seed=0, max_delay=8) -> System:
@@ -339,6 +342,137 @@ class TestAuthenticatedBroadcastST87:
         system.run_until(
             lambda: ab.everyone_accepted((3, "w", 2), list(system.pids)), 600_000
         )
+
+
+class TestEmulationSpecConformance:
+    """swmr_emulation against the campaign's sequential-spec oracles.
+
+    The campaign layer judges every shared-memory implementation
+    against a ``repro.spec`` sequential specification; the
+    message-passing emulation must conform to the same oracles. These
+    tests wrap emulated operations in Invoke/Respond markers so the
+    kernel records a history, then run the Wing–Gong linearizability
+    search over it — the base emulated register against
+    :class:`RegularRegisterSpec`, and Algorithm 1 layered on top
+    against the very spec instance ``repro.campaign.oracle_for``
+    hands the campaign.
+    """
+
+    def recorded(self, name, op, args, program):
+        """An emulated operation with history bookkeeping around it."""
+
+        def runner():
+            op_id = yield Invoke(name, op, tuple(args))
+            result = yield from program
+            yield Respond(op_id, result)
+            return result
+
+        return runner
+
+    def build(self, n=4, seed=0, byzantine=(4,)):
+        system = System(n=n)
+        system.network = RandomDelayNetwork(seed=seed, max_delay=8)
+        emu = RegisterEmulation(system)
+        emu.add_register("r", writer=1, initial=0)
+        if byzantine:
+            system.declare_byzantine(*byzantine)
+        for pid in system.pids:
+            if pid in byzantine:
+                system.spawn(pid, "replica", idle_forever())
+            else:
+                system.spawn(pid, "replica", emu.replica_program(pid))
+        return system, emu
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_concurrent_history_linearizes_as_regular_register(self, seed):
+        # Writer and readers run concurrently (write-back reads, so the
+        # atomic-register spec applies); whatever interleaving the
+        # seeded network produces, the recorded history must linearize.
+        system, emu = self.build(seed=seed)
+
+        def writer():
+            for value in (1, 2):
+                yield from self.recorded(
+                    "r", "write", (value,), emu.write(1, "r", value)
+                )()
+
+        w = FunctionClient(writer)
+        system.spawn(1, "client", w.program())
+        readers = []
+        for pid in (2, 3):
+            reader = FunctionClient(
+                self.recorded(
+                    "r", "read", (), emu.read(pid, "r", write_back=True)
+                )
+            )
+            readers.append(reader)
+            system.spawn(pid, "client", reader.program())
+        system.run_until(
+            lambda: w.done and all(r.done for r in readers), 800_000
+        )
+        result = check_linearizable(
+            system.history, RegularRegisterSpec(initial=0), obj="r"
+        )
+        assert result.ok, result.reason
+
+    def test_sequential_reads_conform_after_write(self):
+        # Non-overlapping write then reads: the strictest case for the
+        # regular/atomic distinction — write-back reads must never show
+        # a new/old inversion to the spec checker.
+        system, emu = self.build(seed=5)
+        w = FunctionClient(
+            self.recorded("r", "write", (7,), emu.write(1, "r", 7))
+        )
+        system.spawn(1, "client", w.program())
+        system.run_until(lambda: w.done, 400_000)
+        for pid in (2, 3):
+            reader = FunctionClient(
+                self.recorded(
+                    "r", "read", (), emu.read(pid, "r", write_back=True)
+                )
+            )
+            system.spawn(pid, "client", reader.program())
+            system.run_until(lambda: reader.done, 400_000)
+            assert reader.result == 7
+        result = check_linearizable(
+            system.history, RegularRegisterSpec(initial=0), obj="r"
+        )
+        assert result.ok, result.reason
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_algorithm1_over_emulation_meets_the_campaign_oracle(self, seed):
+        # Algorithm 1 translated onto the emulation must linearize
+        # against the same VerifiableRegisterSpec instance the campaign
+        # uses to judge the shared-memory implementations.
+        system = System(n=4, f=1)
+        system.network = RandomDelayNetwork(seed=seed, max_delay=5)
+        emu = RegisterEmulation(system)
+        register = VerifiableRegister(system, "v", initial=0)
+        declare_registers(emu, register)
+        for pid in system.pids:
+            system.spawn(pid, "replica", emu.replica_program(pid))
+            system.spawn(pid, "help", translated_help(emu, register, pid))
+
+        def writer():
+            yield from translate(emu, 1, register.op(1, "write", 5))
+            yield from translate(emu, 1, register.op(1, "sign", 5))
+
+        w = FunctionClient(writer)
+        system.spawn(1, "client", w.program())
+        system.run_until(lambda: w.done, 4_000_000)
+
+        def reader():
+            value = yield from translate(emu, 2, register.op(2, "read"))
+            good = yield from translate(emu, 2, register.op(2, "verify", 5))
+            bad = yield from translate(emu, 2, register.op(2, "verify", 6))
+            return (value, good, bad)
+
+        r = FunctionClient(reader)
+        system.spawn(2, "client", r.program())
+        system.run_until(lambda: r.done, 8_000_000)
+        assert r.result == (5, True, False)
+        result = check_linearizable(system.history, oracle_for("verifiable"), obj="v")
+        assert result.ok, result.reason
 
 
 class TestWriteBack:

@@ -35,6 +35,21 @@ def test_fault_free_scenarios_correct(kind, n, seed):
     assert outcome.ok, outcome.failure_detail()
 
 
+def test_sign_vs_own_help_daemon_race_regression():
+    """Pinned hypothesis find: validity (Obs 11) lost to an R_1 race.
+
+    At kind=verifiable n=5 seed=43, Sign's read-modify-write of R_1
+    interleaved with the writer's *own* Help daemon's read-modify-write
+    of the same register: Help's stale write clobbered the freshly
+    signed value, so every later Verify returned false for a
+    successfully signed value. Both writers now merge through a
+    process-local shadow set (the paper's process is sequential, so the
+    interleaving cannot occur there); this pins the exact coordinates.
+    """
+    outcome = run_register_scenario("verifiable", n=5, seed=43)
+    assert outcome.ok, outcome.failure_detail()
+
+
 @given(
     kind=st.sampled_from(["verifiable", "authenticated"]),
     adversary=st.sampled_from(["silent", "deny", "equivocate", "garbage"]),
