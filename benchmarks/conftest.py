@@ -24,11 +24,12 @@ def save_table(name: str, rendered: str) -> None:
 
 
 def emit(name: str, headers, rows, title: str) -> str:
-    """Render, print, and persist an experiment table."""
-    from repro.analysis import render_table
+    """Render, print, and persist an experiment table (text + JSON).
 
-    rendered = render_table(headers, rows, title=title)
-    print()
-    print(rendered)
-    save_table(name, rendered)
-    return rendered
+    Thin wrapper over :func:`repro.analysis.reporting.emit_table`, the
+    shared emitter, so every bench writes both ``_results/<name>.txt``
+    and the machine-readable ``_results/<name>.json``.
+    """
+    from repro.analysis.reporting import emit_table
+
+    return emit_table(name, headers, rows, title=title, results_dir=RESULTS_DIR)

@@ -8,6 +8,7 @@ Usage::
     python -m repro.analysis explore         # schedule-space exploration
     python -m repro.analysis explore --budget 200 --f 2
     python -m repro.analysis campaign --smoke   # differential campaign
+    python -m repro.analysis bench --smoke      # perf-regression matrix
 
 This is the no-pytest path to EXPERIMENTS.md's tables — useful for
 quick inspection or for environments without pytest-benchmark. Each
@@ -27,6 +28,11 @@ with discovered violations shrunk and persisted into the replayable
 ``corpus/`` regression corpus. Exit code 0 means every cell matched
 the paper's expectation (and, with ``--replay``, that every committed
 corpus entry still reproduces).
+
+The ``bench`` subcommand runs the fixed perf-regression matrix
+(``repro.analysis.bench``) and writes ``BENCH_kernel.json``; with
+``--compare`` it warns — without failing — when a cell regressed
+against a committed baseline.
 """
 
 from __future__ import annotations
@@ -159,6 +165,7 @@ def _list_experiments() -> int:
         print(f"{exp_id:4} {title}")
     print("explore  schedule-space exploration (see `explore --help`)")
     print("campaign differential conformance campaign (see `campaign --help`)")
+    print("bench    perf-regression benchmark matrix (see `bench --help`)")
     return 0
 
 
@@ -194,6 +201,14 @@ def _explore_main(argv: Sequence[str]) -> int:
         "--preempt", type=int, default=2, help="systematic preemption bound"
     )
     parser.add_argument("--mode", choices=("dfs", "bfs"), default="dfs")
+    parser.add_argument(
+        "--prefix-sharing",
+        choices=("auto", "fork", "replay"),
+        default="auto",
+        help="systematic node executor: fork-based prefix sharing, plain "
+        "re-execution, or auto (fork when the platform and CPU count "
+        "make it profitable)",
+    )
     parser.add_argument(
         "--shards", type=int, default=None, help="fuzzer processes (default: cores, <=4)"
     )
@@ -231,6 +246,7 @@ def _explore_main(argv: Sequence[str]) -> int:
                 preemption_bound=args.preempt,
                 budget=args.budget,
                 mode=args.mode,
+                prefix_sharing=args.prefix_sharing,
             )
             print(sys_report.summary())
             rows.append(
@@ -500,6 +516,10 @@ def main(argv: Sequence[str]) -> int:
         return _explore_main(list(argv[1:]))
     if argv and argv[0].lower() == "campaign":
         return _campaign_main(list(argv[1:]))
+    if argv and argv[0].lower() == "bench":
+        from repro.analysis.bench import main as bench_main
+
+        return bench_main(list(argv[1:]))
     wanted = [arg.upper() for arg in argv] or list(ALL_IDS)
     failures: List[str] = []
     for exp_id in wanted:

@@ -1,0 +1,337 @@
+"""Perf-regression harness: ``python -m repro.analysis bench``.
+
+Runs a fixed kernel / explorer / fuzzer / campaign workload matrix and
+emits ``BENCH_kernel.json`` — the committed trajectory of the
+simulator's throughput. Each cell reports its raw metric (steps/s,
+states/s, runs/s) plus a *machine-normalized* value: raw divided by the
+host's score on a fixed pure-Python calibration loop and scaled back to
+the reference machine, so two hosts produce comparable numbers and CI
+can warn on regressions without pinning hardware.
+
+The matrix is deliberately the hot-path inventory of the repository:
+
+* ``kernel.steps`` — bare simulator stepping (scenario drives under
+  round robin, no instrumentation): the cost everything else pays.
+* ``kernel.fingerprint`` — stepping with an incremental
+  ``System.fingerprint()`` after every step: the explorer's inner loop.
+* ``explore.dfs.3f`` / ``explore.dfs.3f1`` — the E13 systematic-search
+  workloads (violating and clean Theorem 29 scenarios).
+* ``fuzz.single`` — the swarm fuzzer, one shard (the campaign-cell
+  shape).
+* ``campaign.cell`` — one differential-conformance cell end to end
+  through ``repro.campaign.run_campaign``.
+
+``--compare BASELINE`` checks the fresh run against a committed
+baseline and *warns* (never fails) when a cell's normalized metric
+regressed more than :data:`REGRESSION_THRESHOLD`; the CI bench-smoke
+job uploads the fresh file as an artifact and surfaces the warnings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.analysis.reporting import emit_table
+
+#: Calibration score of the reference machine (the host that committed
+#: the first trajectory point). Normalized metrics are expressed in
+#: reference-machine units: normalized = raw * REFERENCE_SCORE / score.
+REFERENCE_SCORE = 1_540_000.0
+
+#: Non-gating warning threshold for --compare (fractional regression of
+#: the normalized metric).
+REGRESSION_THRESHOLD = 0.25
+
+#: Schema version of BENCH_kernel.json.
+SCHEMA = 1
+
+
+def calibration_score(duration: float = 0.25) -> float:
+    """Fixed pure-Python work units per second on this host.
+
+    Mixes the two primitives the simulator leans on — bytecode-level
+    integer/loop work and blake2b hashing — so the score moves roughly
+    with simulator throughput when the host changes speed.
+    """
+    payload = b"repro-bench-calibration"
+    done = 0
+    counter = 0
+    deadline = time.perf_counter() + duration
+    while time.perf_counter() < deadline:
+        for _ in range(50):
+            counter = (counter * 1103515245 + 12345) % (1 << 31)
+            hashlib.blake2b(payload, digest_size=8).digest()
+            done += 1
+    elapsed = duration + (time.perf_counter() - deadline)
+    return done / elapsed
+
+
+def _theorem29_scenario(extra_correct: bool = False):
+    from repro.explore import make_scenario
+
+    if extra_correct:
+        return make_scenario("theorem29", f=1, extra_correct=True)
+    return make_scenario("theorem29", f=1)
+
+
+def _bench_kernel_steps(smoke: bool) -> Dict[str, float]:
+    """Bare stepping throughput: drive runs with zero instrumentation."""
+    from repro.sim.scheduler import RoundRobinScheduler
+
+    scenario = _theorem29_scenario()
+    runs = 20 if smoke else 120
+    steps = 0
+    started = time.perf_counter()
+    for _ in range(runs):
+        built = scenario.build(RoundRobinScheduler())
+        built.drive()
+        steps += built.system.clock
+        built.system.release_coroutines()
+    elapsed = time.perf_counter() - started
+    return {"steps_per_s": steps / elapsed}
+
+
+def _bench_kernel_fingerprint(smoke: bool) -> Dict[str, float]:
+    """Step + incremental fingerprint per step (the explorer inner loop)."""
+    from repro.sim.scheduler import RoundRobinScheduler
+
+    scenario = _theorem29_scenario()
+    runs = 6 if smoke else 40
+    steps_per_run = 600  # help daemons run forever; bound explicitly
+    prints = 0
+    started = time.perf_counter()
+    for _ in range(runs):
+        built = scenario.build(RoundRobinScheduler())
+        system = built.system
+        for _ in range(steps_per_run):
+            if not system.step():
+                break
+            system.fingerprint()
+            prints += 1
+        built.system.release_coroutines()
+    elapsed = time.perf_counter() - started
+    return {"fingerprints_per_s": prints / elapsed}
+
+
+def _bench_explore(smoke: bool, extra_correct: bool) -> Dict[str, float]:
+    from repro.explore import explore
+
+    report = explore(
+        _theorem29_scenario(extra_correct),
+        depth_bound=14,
+        preemption_bound=2,
+        budget=80 if smoke else 400,
+        # Pinned: "auto" picks the executor by host CPU count, and a
+        # baseline comparison across hosts must measure one engine.
+        prefix_sharing="replay",
+    )
+    expected_violations = 0 if extra_correct else 1
+    if len(report.violations) != expected_violations:
+        raise RuntimeError(
+            f"bench workload drifted: expected {expected_violations} "
+            f"violation class(es), saw {len(report.violations)}"
+        )
+    return {
+        "runs_per_s": report.runs_per_sec,
+        "states_per_s": report.states_per_sec,
+    }
+
+
+def _bench_fuzz(smoke: bool) -> Dict[str, float]:
+    from repro.explore import fuzz
+
+    report = fuzz(_theorem29_scenario(), budget=60 if smoke else 300, shards=1)
+    return {
+        "runs_per_s": report.runs_per_sec,
+        "steps_per_s": report.steps_per_sec,
+    }
+
+
+def _bench_campaign_cell(smoke: bool) -> Dict[str, float]:
+    """One differential-conformance cell through the campaign runner."""
+    from repro.campaign import run_campaign
+    from repro.campaign.matrix import default_matrix
+
+    cells = [
+        cell
+        for cell in default_matrix(smoke=True)
+        if cell.implementation == "verifiable" and cell.engine == "swarm"
+    ][:1]
+    if not cells:
+        raise RuntimeError("bench workload drifted: no verifiable swarm cell")
+    report = run_campaign(cells, shards=1, shrink_violations=False, corpus_dir=None)
+    outcome = report.outcomes[0]
+    if not outcome.ok:
+        raise RuntimeError(f"bench campaign cell mismatched: {outcome.describe()}")
+    return {"runs_per_s": outcome.runs_per_sec}
+
+
+#: The fixed matrix: name -> (driver, smoke-flag-aware kwargs).
+def _matrix(smoke: bool) -> List[Tuple[str, Dict[str, float]]]:
+    return [
+        ("kernel.steps", _bench_kernel_steps(smoke)),
+        ("kernel.fingerprint", _bench_kernel_fingerprint(smoke)),
+        ("explore.dfs.3f", _bench_explore(smoke, extra_correct=False)),
+        ("explore.dfs.3f1", _bench_explore(smoke, extra_correct=True)),
+        ("fuzz.single", _bench_fuzz(smoke)),
+        ("campaign.cell", _bench_campaign_cell(smoke)),
+    ]
+
+
+def run_bench(smoke: bool = False) -> Dict[str, Any]:
+    """Run the workload matrix; returns the BENCH_kernel.json payload."""
+    score = calibration_score()
+    scale = REFERENCE_SCORE / score
+    cells: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name, metrics in _matrix(smoke):
+        cells[name] = {
+            metric: {
+                "raw": round(value, 1),
+                "normalized": round(value * scale, 1),
+            }
+            for metric, value in metrics.items()
+        }
+    return {
+        "schema": SCHEMA,
+        "generated": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "smoke": smoke,
+        "machine": {
+            "python": platform.python_version(),
+            "platform": sys.platform,
+            "cpus": os.cpu_count() or 1,
+            "calibration_score": round(score, 1),
+        },
+        "cells": cells,
+    }
+
+
+def compare(baseline: Dict[str, Any], current: Dict[str, Any]) -> List[str]:
+    """Warnings for cells whose normalized metric regressed > threshold.
+
+    Non-gating by design: bench numbers move with shared-runner load,
+    so CI surfaces the warnings without failing the build. Smoke and
+    full runs use different budgets and are not rate-comparable, so a
+    smoke-flag mismatch refuses the cell comparison outright instead of
+    producing misleading verdicts.
+    """
+    if bool(baseline.get("smoke")) != bool(current.get("smoke")):
+        return [
+            "WARN: baseline and current runs used different matrices "
+            f"(baseline smoke={bool(baseline.get('smoke'))}, current "
+            f"smoke={bool(current.get('smoke'))}); rates are not "
+            "comparable — regenerate the matching baseline"
+        ]
+    warnings: List[str] = []
+    base_cells = baseline.get("cells", {})
+    for name, metrics in current.get("cells", {}).items():
+        for metric, values in metrics.items():
+            base = base_cells.get(name, {}).get(metric)
+            if not base:
+                continue
+            old = float(base["normalized"])
+            new = float(values["normalized"])
+            if old <= 0:
+                continue
+            change = (new - old) / old
+            if change < -REGRESSION_THRESHOLD:
+                warnings.append(
+                    f"WARN: {name} {metric} regressed {-change:.0%} "
+                    f"(normalized {old:.0f} -> {new:.0f})"
+                )
+    return warnings
+
+
+def default_output_path() -> Path:
+    """The committed trajectory file: benchmarks/_results/BENCH_kernel.json."""
+    return (
+        Path(__file__).resolve().parents[3]
+        / "benchmarks"
+        / "_results"
+        / "BENCH_kernel.json"
+    )
+
+
+def main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis bench",
+        description=(
+            "Run the fixed kernel/explorer/fuzzer/campaign benchmark matrix "
+            "and write BENCH_kernel.json (machine-normalized against a "
+            "calibration loop)."
+        ),
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced budgets (the CI bench-smoke matrix)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="output path (default: benchmarks/_results/BENCH_kernel.json)",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print the table only; do not write the JSON file",
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="warn (non-gating) when a cell regressed >25%% vs this file",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_bench(smoke=args.smoke)
+    headers = ("cell", "metric", "raw", "normalized")
+    rows = [
+        (name, metric, values["raw"], values["normalized"])
+        for name, metrics in payload["cells"].items()
+        for metric, values in metrics.items()
+    ]
+    emit_table(
+        "BENCH_kernel",
+        headers,
+        rows,
+        title=(
+            f"Kernel/search benchmark matrix "
+            f"({'smoke' if args.smoke else 'full'}; "
+            f"calibration {payload['machine']['calibration_score']:.0f})"
+        ),
+        results_dir=None,
+    )
+
+    if not args.no_write:
+        out = Path(args.json) if args.json else default_output_path()
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"\nwrote {out}")
+
+    if args.compare:
+        baseline = json.loads(Path(args.compare).read_text(encoding="utf-8"))
+        warnings = compare(baseline, payload)
+        print()
+        if warnings:
+            for line in warnings:
+                print(line)
+            print(
+                f"({len(warnings)} regression warning(s) vs {args.compare}; "
+                f"non-gating)"
+            )
+        else:
+            print(f"no regressions vs {args.compare}")
+    return 0

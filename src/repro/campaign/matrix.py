@@ -366,6 +366,10 @@ def _run_cell(cell: CampaignCell) -> CellOutcome:
             preemption_bound=cell.preemption_bound,
             budget=cell.budget,
             stop_on_violation=cell.expect_violation,
+            # Campaign cells already fan out across the worker pool; the
+            # fork branch executor would only oversubscribe the cores,
+            # so cells always use the replay engine.
+            prefix_sharing="replay",
         )
         return CellOutcome(
             cell=cell,

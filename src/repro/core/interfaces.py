@@ -40,7 +40,7 @@ def as_frozenset(value: Any) -> frozenset:
     owner may have filled with arbitrary data. An ill-typed value conveys
     no witnessed values, which is the safe reading.
     """
-    if isinstance(value, frozenset):
+    if value.__class__ is frozenset or isinstance(value, frozenset):
         return value
     return frozenset()
 
@@ -52,6 +52,11 @@ def as_int(value: Any, default: int = 0) -> int:
     ``True`` does not masquerade as counter 1 in a way that differs from
     the writer's own arithmetic.
     """
+    # Exact-type fast path (one pointer compare) for the overwhelmingly
+    # common case; subclasses of int (bool excluded) fall through to the
+    # precise check.
+    if value.__class__ is int:
+        return value
     if isinstance(value, int) and not isinstance(value, bool):
         return value
     return default

@@ -26,7 +26,7 @@ from repro.core.authenticated import AuthenticatedRegister
 from repro.core.interfaces import DONE, AlgorithmBase, as_int
 from repro.core.sticky import StickyRegister
 from repro.core.verifiable import VerifiableRegister
-from repro.sim.effects import Pause, ReadRegister, WriteRegister
+from repro.sim.effects import PAUSE, ReadRegister, WriteRegister
 from repro.sim.process import Program
 from repro.sim.registers import RegisterSpec, swmr
 from repro.sim.system import System
@@ -215,6 +215,14 @@ class QuorumTestOrSet(AlgorithmBase):
             self.f + 1 if adopt_threshold is None else adopt_threshold
         )
         self.patience = patience
+        # Effects are frozen values, and Set/Test/Help yield the same
+        # reads thousands of times per explored schedule — pre-build one
+        # instance per register instead of formatting the register name
+        # and constructing a fresh dataclass on every yield.
+        self._read_flag = ReadRegister(self.reg_flag())
+        self._read_witness = tuple(
+            ReadRegister(self.reg_witness(i)) for i in self.pids
+        )
 
     # ------------------------------------------------------------------
     def reg_flag(self) -> str:
@@ -232,45 +240,55 @@ class QuorumTestOrSet(AlgorithmBase):
 
     # ------------------------------------------------------------------
     def procedure_set(self, pid: int) -> Program:
-        """Write the flag, wait for ``n - f`` witnesses, return done."""
+        """Write the flag, wait for ``n - f`` witnesses, return done.
+
+        The scan loops here and below keep an integer loop index ``i``:
+        it is a fingerprint-relevant local (the state explorer must
+        distinguish "suspended at witness 2" from "suspended at witness
+        3"), while the pre-built read effects themselves abstract to a
+        constant.
+        """
         self._require_writer(pid)
         yield WriteRegister(self.reg_flag(), SET_FLAG)
+        need = self.n - self.f
         while True:
             count = 0
-            for i in self.pids:
-                if as_int((yield ReadRegister(self.reg_witness(i)))) == SET_FLAG:
+            for i, read in enumerate(self._read_witness):
+                if as_int((yield read)) == SET_FLAG:
                     count += 1
-            if count >= self.n - self.f:
+            if count >= need:
                 return DONE
 
     def procedure_test(self, pid: int) -> Program:
         """Scan witnesses up to ``patience`` times; threshold decides."""
+        accept = self.accept_threshold
         for _scan in range(self.patience):
             count = 0
-            for i in self.pids:
-                if as_int((yield ReadRegister(self.reg_witness(i)))) == SET_FLAG:
+            for i, read in enumerate(self._read_witness):
+                if as_int((yield read)) == SET_FLAG:
                     count += 1
-            if count >= self.accept_threshold:
+            if count >= accept:
                 return 1
-            yield Pause()
+            yield PAUSE
         return 0
 
     def procedure_help(self, pid: int) -> Program:
         """Witness daemon: adopt on seeing the flag or a witness quorum."""
+        read_own = self._read_witness[pid - 1]
+        write_own = WriteRegister(self.reg_witness(pid), SET_FLAG)
+        read_flag = self._read_flag
+        adopt = self.adopt_threshold
         while True:
-            own = as_int((yield ReadRegister(self.reg_witness(pid))))
+            own = as_int((yield read_own))
             if own != SET_FLAG:
-                flag = as_int((yield ReadRegister(self.reg_flag())))
+                flag = as_int((yield read_flag))
                 if flag == SET_FLAG:
-                    yield WriteRegister(self.reg_witness(pid), SET_FLAG)
+                    yield write_own
                 else:
                     count = 0
-                    for i in self.pids:
-                        if (
-                            as_int((yield ReadRegister(self.reg_witness(i))))
-                            == SET_FLAG
-                        ):
+                    for i, read in enumerate(self._read_witness):
+                        if as_int((yield read)) == SET_FLAG:
                             count += 1
-                    if count >= self.adopt_threshold:
-                        yield WriteRegister(self.reg_witness(pid), SET_FLAG)
-            yield Pause()
+                    if count >= adopt:
+                        yield write_own
+            yield PAUSE

@@ -37,6 +37,9 @@ tree was drained.
 
 from __future__ import annotations
 
+import contextlib
+import gc
+import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -45,6 +48,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 from repro.errors import SchedulerError, StepLimitExceeded
 from repro.sim.effects import Pause, ReadRegister, WriteRegister
 from repro.sim.scheduler import CoroutineId, RoundRobinScheduler, TraceScheduler
+from repro.explore.forkexec import MISS, SKIPPED, BranchExecutor, fork_available
 from repro.explore.scenarios import Scenario, Violation
 
 #: Effect signature: ("read", reg) / ("write", reg) / ("pause",) /
@@ -52,16 +56,41 @@ from repro.explore.scenarios import Scenario, Violation
 #: coroutine. Signatures drive the commutation test below.
 EffectSignature = Tuple[str, ...]
 
+_PAUSE_SIG: EffectSignature = ("pause",)
+_SYNC_SIG: EffectSignature = ("sync",)
+
+#: Effect-type -> signature kind, filled lazily per concrete type (the
+#: per-step isinstance chain showed up in profiles; subclasses resolve
+#: through their nearest classified base, mirroring System._HANDLERS).
+_SIG_KINDS: Dict[type, str] = {
+    ReadRegister: "read",
+    WriteRegister: "write",
+    Pause: "pause",
+}
+
+
+def _resolve_sig_kind(effect_type: type) -> str:
+    for base in effect_type.__mro__[1:]:
+        kind = _SIG_KINDS.get(base)
+        if kind is not None:
+            _SIG_KINDS[effect_type] = kind
+            return kind
+    _SIG_KINDS[effect_type] = "sync"
+    return "sync"
+
 
 def effect_signature(effect: object) -> EffectSignature:
     """Classify one executed effect for the commutation test."""
-    if isinstance(effect, ReadRegister):
+    kind = _SIG_KINDS.get(type(effect))
+    if kind is None:
+        kind = _resolve_sig_kind(type(effect))
+    if kind == "read":
         return ("read", effect.register)
-    if isinstance(effect, WriteRegister):
+    if kind == "write":
         return ("write", effect.register)
-    if isinstance(effect, Pause):
-        return ("pause",)
-    return ("sync",)
+    if kind == "pause":
+        return _PAUSE_SIG
+    return _SYNC_SIG
 
 
 def commutes(a: EffectSignature, b: EffectSignature) -> bool:
@@ -119,6 +148,14 @@ class ExploreReport:
     exhausted: bool = False
     elapsed: float = 0.0
     violations: List[Violation] = field(default_factory=list)
+    #: Node executor used: "fork" (prefix-sharing branch executor) or
+    #: "replay" (re-execution from the root).
+    engine: str = "replay"
+    #: Prefix steps re-executed to reach decision points (all of them on
+    #: the replay engine; once per sibling group on the fork engine).
+    replayed_steps: int = 0
+    #: Prefix steps forked children inherited instead of re-executing.
+    shared_steps: int = 0
 
     @property
     def runs_per_sec(self) -> float:
@@ -138,14 +175,21 @@ class ExploreReport:
             else "no violations"
         )
         tree = "bounded tree exhausted" if self.exhausted else "budget reached"
+        sharing = (
+            f", {self.shared_steps} prefix steps shared / "
+            f"{self.replayed_steps} replayed"
+            if self.engine == "fork"
+            else ""
+        )
         return (
             f"{self.scenario}: {verdict} in {self.runs} runs "
-            f"({self.mode}, depth<={self.depth_bound}, "
+            f"({self.mode}/{self.engine}, depth<={self.depth_bound}, "
             f"preemptions<={self.preemption_bound}; {tree}); "
             f"{self.runs_per_sec:.0f} runs/s, {self.states_per_sec:.0f} states/s, "
             f"{self.unique_states} unique states, pruned "
             f"{self.pruned_fingerprint} by fingerprint / {self.pruned_sleep} "
             f"by sleep sets / {self.pruned_preemption} by preemption bound"
+            + sharing
         )
 
 
@@ -163,48 +207,184 @@ def execute_trace(
     signatures and (optionally) state fingerprints for the search loop.
     Raises :class:`SchedulerError` when the prefix is not realizable.
     """
-    scheduler = TraceScheduler(
-        prefix=prefix, fallback=RoundRobinScheduler(), horizon=depth_bound
-    )
-    built = scenario.build(scheduler)
-    signatures: List[EffectSignature] = []
-    prints: List[int] = []
+    return InstrumentedRun(
+        scenario, prefix, depth_bound, fingerprints, schedule_label
+    ).finish()
 
-    def on_step(cid: CoroutineId, effect: object) -> None:
-        signatures.append(
-            ("sync",) if effect is None else effect_signature(effect)
+
+class InstrumentedRun:
+    """One scenario execution with windowed per-step instrumentation.
+
+    The two halves of the explorer's executor: :meth:`run_prefix_steps`
+    materializes a decision prefix step by step (the state the
+    fork-based branch executor shares between siblings), and
+    :meth:`finish` drives the run to completion and packages the
+    :class:`RunRecord`. :func:`execute_trace` is simply construct +
+    finish.
+
+    Recording is *windowed*: per-step observations stop — and the
+    ``on_step`` hook detaches, so the completion tail runs at full
+    kernel speed — once nothing the search loop can still ask about
+    remains open. The sleep-set test (:func:`_next_effect_at`) queries a
+    coroutine's first step at or after a depth below ``depth_bound``;
+    under the round-robin fallback every live coroutine steps within one
+    rotation past the horizon, so the window closes as soon as each
+    coroutine seen runnable inside the horizon has stepped beyond it (or
+    retired). ``chosen``/``effects`` additionally always cover the full
+    forced prefix (the shrinker converts prefix decisions into scripts).
+    The windowed record answers every search-loop query identically to a
+    full-length record.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        prefix: Sequence[int] = (),
+        depth_bound: int = 0,
+        fingerprints: bool = False,
+        schedule_label: str = "",
+    ):
+        self.scenario = scenario
+        self.depth_bound = depth_bound
+        self.fingerprints = fingerprints
+        self.schedule_label = schedule_label
+        self.scheduler = TraceScheduler(
+            prefix=prefix, fallback=RoundRobinScheduler(), horizon=depth_bound
         )
-        if fingerprints and len(prints) < depth_bound:
-            prints.append(built.system.fingerprint())
+        self.built = scenario.build(self.scheduler)
+        self.system = self.built.system
+        self.signatures: List[EffectSignature] = []
+        self.chosen: List[CoroutineId] = []
+        self.prints: List[int] = []
+        self._finished: set = set()
+        #: None until the recording window may close; then the cids whose
+        #: post-horizon next effect is still unknown.
+        self._pending: Optional[set] = None
+        self._window = max(depth_bound, len(prefix))
+        self.system.on_step = self._on_step
 
-    built.system.on_step = on_step
-    completed = True
-    try:
-        built.drive()
-    except StepLimitExceeded:
-        completed = False
-    reason = built.check() if completed else None
-    violation = (
-        Violation(
-            scenario=scenario.label(),
-            reason=reason,
+    def _on_step(self, cid: CoroutineId, effect: object) -> None:
+        if effect is None:
+            sig = _SYNC_SIG
+            self._finished.add(cid)
+        else:
+            effect_type = type(effect)
+            kind = _SIG_KINDS.get(effect_type)
+            if kind is None:
+                kind = _resolve_sig_kind(effect_type)
+            if kind == "pause":
+                sig = _PAUSE_SIG
+            elif kind == "read":
+                sig = ("read", effect.register)
+            elif kind == "write":
+                sig = ("write", effect.register)
+            else:
+                sig = _SYNC_SIG
+        signatures = self.signatures
+        signatures.append(sig)
+        self.chosen.append(cid)
+        if self.fingerprints and len(self.prints) < self.depth_bound:
+            self.prints.append(self.system.fingerprint())
+        if len(signatures) > self._window:
+            pending = self._pending
+            if pending is None:
+                pending = set()
+                for runnable in self.scheduler.runnables:
+                    pending.update(runnable)
+                pending -= self._finished
+                self._pending = pending
+            pending.discard(cid)
+            if not pending:
+                # Window closed: nothing left to observe, run the tail
+                # of the schedule without per-step instrumentation.
+                self.system.on_step = None
+
+    def extend_prefix(self, index: int) -> None:
+        """Force ``index`` as the next decision (branch-executor hook)."""
+        self.scheduler.extend_prefix(index)
+        self._window = max(self._window, len(self.scheduler.prefix))
+
+    def run_prefix_steps(self, count: int) -> bool:
+        """Take exactly ``count`` kernel steps (the shared prefix).
+
+        Returns False when the run ends early — callers then fall back
+        to plain re-execution. Raises :class:`SchedulerError` when the
+        prefix is unrealizable, exactly like :func:`execute_trace`.
+        """
+        step = self.system.step
+        for _ in range(count):
+            if not step():
+                return False
+        return True
+
+    def finish(self) -> RunRecord:
+        """Drive to completion, judge the history, build the record.
+
+        Disposes the run even when drive()/check() raise (unrealizable
+        prefixes surface as SchedulerError here): the search loop runs
+        with the cyclic collector paused, so an undisposed run would
+        leak its whole System.
+        """
+        built = self.built
+        scheduler = self.scheduler
+        completed = True
+        try:
+            try:
+                built.drive()
+            except StepLimitExceeded:
+                completed = False
+            reason = built.check() if completed else None
+        except BaseException:
+            self.dispose()
+            raise
+        violation = (
+            Violation(
+                scenario=self.scenario.label(),
+                reason=reason,
+                trace=tuple(scheduler.trace),
+                schedule=self.schedule_label or scheduler.describe(),
+            )
+            if reason
+            else None
+        )
+        record = RunRecord(
             trace=tuple(scheduler.trace),
-            schedule=schedule_label or scheduler.describe(),
+            chosen=tuple(self.chosen),
+            runnables=tuple(scheduler.runnables),
+            cumulative_preemptions=tuple(scheduler.cumulative_preemptions),
+            effects=tuple(self.signatures),
+            fingerprints=tuple(self.prints),
+            completed=completed,
+            steps=len(scheduler.trace),
+            violation=violation,
         )
-        if reason
-        else None
-    )
-    return RunRecord(
-        trace=tuple(scheduler.trace),
-        chosen=tuple(scheduler.chosen),
-        runnables=tuple(scheduler.runnables),
-        cumulative_preemptions=tuple(scheduler.cumulative_preemptions),
-        effects=tuple(signatures),
-        fingerprints=tuple(prints),
-        completed=completed,
-        steps=len(scheduler.trace),
-        violation=violation,
-    )
+        self.dispose()
+        return record
+
+    def dispose(self) -> None:
+        """Release the run's coroutines (see System.release_coroutines)."""
+        self.system.release_coroutines()
+
+
+@contextlib.contextmanager
+def paused_gc():
+    """Suspend the cyclic garbage collector around a search loop.
+
+    Exploration churns short-lived systems, records and effect tuples at
+    a rate that keeps the generational collector busy scanning objects
+    that are about to die anyway; pausing it for the duration of a
+    bounded campaign is worth several percent of throughput. Reference
+    counting still reclaims everything acyclic immediately, and one
+    explicit collection on exit picks up the cycles.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+            gc.collect()
 
 
 def _next_effect_at(
@@ -223,6 +403,25 @@ def _next_effect_at(
     return None
 
 
+def _resolve_prefix_sharing(prefix_sharing: str) -> bool:
+    """Whether to use the fork branch executor for this exploration."""
+    if prefix_sharing not in ("auto", "fork", "replay"):
+        raise ValueError(
+            f"prefix_sharing must be 'auto', 'fork' or 'replay', "
+            f"got {prefix_sharing!r}"
+        )
+    if prefix_sharing == "fork":
+        if not fork_available():
+            raise ValueError("prefix_sharing='fork' requires os.fork")
+        return True
+    if prefix_sharing == "replay":
+        return False
+    # auto: fork pays off when forked siblings can overlap on spare
+    # cores; on a single hardware thread the fork + pickle tax exceeds
+    # the shared-prefix savings, so stay with plain re-execution.
+    return fork_available() and (os.cpu_count() or 1) >= 2
+
+
 def explore(
     scenario: Scenario,
     depth_bound: int = 14,
@@ -232,102 +431,147 @@ def explore(
     memoize: bool = True,
     sleep_sets: bool = True,
     stop_on_violation: bool = False,
+    prefix_sharing: str = "auto",
 ) -> ExploreReport:
     """Systematically search bounded schedules of ``scenario``.
 
     Returns an :class:`ExploreReport`; ``report.violations`` holds one
     representative :class:`Violation` per deduplicated violation class.
+
+    ``prefix_sharing`` selects the node executor: ``"fork"`` shares each
+    sibling group's prefix through the POSIX fork branch executor
+    (:mod:`repro.explore.forkexec`), ``"replay"`` re-executes every node
+    from the root, and ``"auto"`` (default) picks fork exactly when the
+    platform supports it and more than one CPU is available. Both
+    engines produce identical reports; ``report.engine`` records the
+    choice and ``replayed_steps`` / ``shared_steps`` quantify the
+    prefix work saved.
     """
     if mode not in ("dfs", "bfs"):
         raise ValueError(f"mode must be 'dfs' or 'bfs', got {mode!r}")
+    use_fork = _resolve_prefix_sharing(prefix_sharing)
     report = ExploreReport(
         scenario=scenario.label(),
         mode=mode,
         depth_bound=depth_bound,
         preemption_bound=preemption_bound,
         budget=budget,
+        engine="fork" if use_fork else "replay",
     )
     started = time.perf_counter()
     frontier: Deque[Tuple[int, ...]] = deque([()])
     seen_states: Dict[int, int] = {}
     seen_violations: Set[str] = set()
     label = f"explore({mode})"
+    executor = (
+        BranchExecutor(
+            scenario, depth_bound, schedule_label=label, fingerprints=memoize
+        )
+        if use_fork
+        else None
+    )
 
-    while frontier and report.runs < budget:
-        prefix = frontier.pop() if mode == "dfs" else frontier.popleft()
-        try:
-            record = execute_trace(
-                scenario,
-                prefix,
-                depth_bound=depth_bound,
-                fingerprints=memoize,
-                schedule_label=label,
-            )
-        except SchedulerError:
-            # The prefix stopped being realizable (can happen when a
-            # sibling index exceeds the runnable count mid-tree).
-            continue
-        report.runs += 1
-        report.steps += record.steps
-        report.states += len(record.fingerprints)
-        if not record.completed:
-            report.incomplete += 1
-            continue
-        if record.violation is not None:
-            key = record.violation.fingerprint()
-            if key not in seen_violations:
-                seen_violations.add(key)
-                report.violations.append(record.violation)
-            if stop_on_violation:
-                break
-
-        # Fingerprint memoization: skip expanding a node whose state was
-        # already expanded at the same or a shallower depth.
-        if memoize and prefix:
-            node_state = record.fingerprints[len(prefix) - 1]
-            known_depth = seen_states.get(node_state)
-            if known_depth is not None and known_depth <= len(prefix):
-                report.pruned_fingerprint += 1
-                continue
-            seen_states[node_state] = len(prefix)
-        if memoize:
-            for depth, state in enumerate(record.fingerprints, start=1):
-                seen_states.setdefault(state, depth)
-            report.unique_states = len(seen_states)
-
-        # Expand: deviate from this run at every depth past the forced
-        # prefix, up to the bounds.
-        horizon = min(depth_bound, len(record.trace), len(record.runnables))
-        for depth in range(len(prefix), horizon):
-            runnable = record.runnables[depth]
-            chosen_index = record.trace[depth]
-            explored_sigs: List[EffectSignature] = [record.effects[depth]]
-            base_preemptions = record.cumulative_preemptions[depth]
-            previous = record.chosen[depth - 1] if depth > 0 else None
-            for index, cid in enumerate(runnable):
-                if index == chosen_index:
-                    continue
-                switch_cost = (
-                    1
-                    if previous is not None
-                    and cid != previous
-                    and previous in runnable
-                    else 0
-                )
-                if base_preemptions + switch_cost > preemption_bound:
-                    report.pruned_preemption += 1
-                    continue
-                if sleep_sets:
-                    pending = _next_effect_at(record, depth, cid)
-                    if pending is not None and all(
-                        commutes(pending, sig) for sig in explored_sigs
-                    ):
-                        report.pruned_sleep += 1
+    try:
+        with paused_gc():
+            while frontier and report.runs < budget:
+                prefix = frontier.pop() if mode == "dfs" else frontier.popleft()
+                record: Optional[RunRecord] = None
+                if executor is not None:
+                    fetched = executor.fetch(prefix)
+                    if fetched is SKIPPED:
+                        # Unrealizable / failed sibling: the mirror of
+                        # the SchedulerError `continue` below.
                         continue
-                    if pending is not None:
-                        explored_sigs.append(pending)
-                frontier.append(record.trace[:depth] + (index,))
+                    if fetched is not MISS:
+                        record = fetched
+                if record is None:
+                    try:
+                        record = execute_trace(
+                            scenario,
+                            prefix,
+                            depth_bound=depth_bound,
+                            fingerprints=memoize,
+                            schedule_label=label,
+                        )
+                        report.replayed_steps += len(prefix)
+                    except SchedulerError:
+                        # The prefix stopped being realizable (can happen
+                        # when a sibling index exceeds the runnable count
+                        # mid-tree).
+                        continue
+                report.runs += 1
+                report.steps += record.steps
+                report.states += len(record.fingerprints)
+                if not record.completed:
+                    report.incomplete += 1
+                    continue
+                if record.violation is not None:
+                    key = record.violation.fingerprint()
+                    if key not in seen_violations:
+                        seen_violations.add(key)
+                        report.violations.append(record.violation)
+                    if stop_on_violation:
+                        break
 
+                # Fingerprint memoization: skip expanding a node whose
+                # state was already expanded at the same or a shallower
+                # depth.
+                if memoize and prefix:
+                    node_state = record.fingerprints[len(prefix) - 1]
+                    known_depth = seen_states.get(node_state)
+                    if known_depth is not None and known_depth <= len(prefix):
+                        report.pruned_fingerprint += 1
+                        continue
+                    seen_states[node_state] = len(prefix)
+                if memoize:
+                    for depth, state in enumerate(record.fingerprints, start=1):
+                        seen_states.setdefault(state, depth)
+                    report.unique_states = len(seen_states)
+
+                # Expand: deviate from this run at every depth past the
+                # forced prefix, up to the bounds.
+                horizon = min(depth_bound, len(record.trace), len(record.runnables))
+                for depth in range(len(prefix), horizon):
+                    runnable = record.runnables[depth]
+                    chosen_index = record.trace[depth]
+                    explored_sigs: List[EffectSignature] = [record.effects[depth]]
+                    base_preemptions = record.cumulative_preemptions[depth]
+                    previous = record.chosen[depth - 1] if depth > 0 else None
+                    deviations: List[int] = []
+                    for index, cid in enumerate(runnable):
+                        if index == chosen_index:
+                            continue
+                        switch_cost = (
+                            1
+                            if previous is not None
+                            and cid != previous
+                            and previous in runnable
+                            else 0
+                        )
+                        if base_preemptions + switch_cost > preemption_bound:
+                            report.pruned_preemption += 1
+                            continue
+                        if sleep_sets:
+                            pending = _next_effect_at(record, depth, cid)
+                            if pending is not None and all(
+                                commutes(pending, sig) for sig in explored_sigs
+                            ):
+                                report.pruned_sleep += 1
+                                continue
+                            if pending is not None:
+                                explored_sigs.append(pending)
+                        deviations.append(index)
+                    if deviations:
+                        parent_trace = record.trace[:depth]
+                        if executor is not None:
+                            executor.register_group(parent_trace, deviations)
+                        for index in deviations:
+                            frontier.append(parent_trace + (index,))
+    finally:
+        if executor is not None:
+            report.replayed_steps += executor.replayed_steps
+            report.shared_steps += executor.shared_steps
+            executor.close()
     report.exhausted = not frontier and report.runs <= budget
     report.elapsed = time.perf_counter() - started
     if not memoize:

@@ -42,11 +42,11 @@ from repro.errors import ConfigurationError
 from repro.sim import (
     FunctionClient,
     OpCall,
-    Pause,
     ScriptClient,
     System,
     WriteRegister,
 )
+from repro.sim.effects import PAUSE
 from repro.sim.scheduler import Scheduler
 from repro.spec.byzantine import check_test_or_set
 from repro.spec.properties import check_test_or_set_properties
@@ -206,7 +206,7 @@ def _build_theorem29(
                 yield WriteRegister(tos.reg_flag(), SET_FLAG)
             yield WriteRegister(tos.reg_witness(pid), SET_FLAG)
             for _ in range(linger):
-                yield Pause()
+                yield PAUSE
             for name in owned:
                 yield WriteRegister(name, system.registers.spec(name).initial)
 
@@ -214,12 +214,23 @@ def _build_theorem29(
         erasers.append(eraser)
         system.spawn(pid, "adv", eraser.program())
 
+    halted = False
+
     def byzantine_halted() -> bool:
-        return all(eraser.done for eraser in erasers)
+        # Monotonic (erasers finish and stay finished; nothing despawns
+        # here), so the all() scan runs only until the first True — the
+        # waiting wrappers below poll this every pause step.
+        nonlocal halted
+        if halted:
+            return True
+        if all(eraser.done for eraser in erasers):
+            halted = True
+            return True
+        return False
 
     def late_help(pid: int):
         while not byzantine_halted():
-            yield Pause()
+            yield PAUSE
         yield from tos.procedure_help(pid)
 
     for pid in (roles.pb, *roles.q3):
@@ -231,7 +242,7 @@ def _build_theorem29(
 
     def pb_program():
         while not (byzantine_halted() and pa_client.done):
-            yield Pause()
+            yield PAUSE
         yield from pb_client.program()
 
     pb_wrapper = FunctionClient(pb_program)

@@ -70,6 +70,12 @@ class Pause(Effect):
     """Consume one step without touching shared state; resumes with None."""
 
 
+#: Shared Pause instance. Effects are frozen values, so busy-wait loops
+#: (the most-executed yields in the repository) can reuse one object
+#: instead of constructing a fresh Pause every iteration.
+PAUSE = Pause()
+
+
 @dataclass(frozen=True)
 class Annotate(Effect):
     """Record a named waypoint in the trace; resumes with the current time."""

@@ -1,0 +1,112 @@
+"""Incremental state-fingerprint primitives shared by the kernel layers.
+
+The systematic explorer (:mod:`repro.explore`) memoizes on
+:meth:`repro.sim.System.fingerprint` after *every* prefix step, which
+makes fingerprinting the kernel's hottest derived computation. Rehashing
+the whole state per step is O(|state|); this module provides the pieces
+for an O(|delta|) scheme instead:
+
+* every *item* of a component (one register, one mailbox, one history
+  record, one coroutine's resume point) hashes independently through
+  :func:`digest64` into a 64-bit value;
+* a component's digest is the XOR *fold* of its item digests — the
+  Zobrist-hashing trick from game-tree search: updating one item is two
+  XORs (old out, new in), and the fold is independent of item order, so
+  incremental maintenance and a from-scratch recomputation agree exactly;
+* :func:`combine64` hashes the component folds (domain-separated by
+  position) into the final fingerprint.
+
+Item digests embed a unique item key (register name, pid, op id,
+coroutine id), so two distinct items never contribute the same digest —
+the XOR fold's only structural weakness (identical contributions cancel)
+cannot trigger. Collisions remain possible at the usual 64-bit odds,
+exactly as with the previous monolithic hash.
+
+The *abstraction* of state — which values embed verbatim and which
+collapse to a type name — is unchanged from the original monolithic
+fingerprint and lives here so that :mod:`repro.sim.registers`,
+:mod:`repro.sim.history` and :mod:`repro.sim.system` share one encoding:
+:func:`abstract_value` and :func:`generator_signature` are the same
+functions the kernel exposed before (re-exported from ``system`` for
+compatibility).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Any, List, Tuple
+
+#: Local-variable types embedded verbatim in fingerprints; anything else
+#: is abstracted to its type name (see :meth:`repro.sim.System.fingerprint`).
+PRIMITIVE_TYPES = (int, float, str, bytes, bool, type(None), frozenset, tuple)
+
+_blake2b = hashlib.blake2b
+_pack4 = struct.Struct(">4Q").pack
+_from_bytes = int.from_bytes
+
+
+def abstract_value(value: Any) -> str:
+    """Fingerprint encoding of one Python value (primitive or abstracted)."""
+    if isinstance(value, PRIMITIVE_TYPES):
+        return repr(value)
+    return f"<{type(value).__name__}>"
+
+
+def generator_signature(program: Any) -> Tuple[Any, ...]:
+    """Resume-point signature of a (possibly delegating) generator.
+
+    Walks the ``yield from`` chain; for each suspended frame records the
+    code object's identity, the instruction offset, and the primitive
+    locals. A finished or unstarted generator contributes its state tag.
+
+    Locals are taken in ``f_locals`` iteration order, which CPython fixes
+    per code object (the fast-locals array order), so the signature is
+    deterministic across runs and processes without a sort. The body is
+    hand-inlined (`abstract_value` unrolled) because this function runs
+    once per fingerprinted step on the stepped coroutine — it is the
+    single largest term of the incremental fingerprint.
+    """
+    parts: List[Any] = []
+    seen = 0
+    primitive = PRIMITIVE_TYPES
+    while program is not None and seen < 32:
+        seen += 1
+        frame = getattr(program, "gi_frame", None)
+        if frame is None:
+            parts.append(("done", getattr(program, "__name__", "?")))
+            break
+        local_items = tuple(
+            (key, repr(value))
+            if isinstance(value, primitive)
+            else (key, f"<{type(value).__name__}>")
+            for key, value in frame.f_locals.items()
+        )
+        code = frame.f_code
+        # co_qualname needs 3.11; co_name keeps 3.10 working.
+        code_name = getattr(code, "co_qualname", code.co_name)
+        parts.append((code_name, frame.f_lasti, local_items))
+        program = getattr(program, "gi_yieldfrom", None)
+    return tuple(parts)
+
+
+def digest64(payload: str) -> int:
+    """64-bit blake2b digest of one item's canonical encoding."""
+    return _from_bytes(
+        _blake2b(payload.encode("utf-8", "surrogatepass"), digest_size=8).digest(),
+        "big",
+    )
+
+
+def combine64(registers: int, mailboxes: int, history: int, coroutines: int) -> int:
+    """Hash the four component folds into the final 64-bit fingerprint.
+
+    Packing the folds positionally domain-separates the components, so a
+    register fold can never cancel against, say, a mailbox fold.
+    """
+    return _from_bytes(
+        _blake2b(
+            _pack4(registers, mailboxes, history, coroutines), digest_size=8
+        ).digest(),
+        "big",
+    )

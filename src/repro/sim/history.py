@@ -26,6 +26,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import HistoryError
+from repro.sim.fingerprint import abstract_value, digest64
 
 
 @dataclass(frozen=True)
@@ -105,6 +106,34 @@ class History:
         self._order: List[int] = []
         self._next_id = 0
         self._annotations: List[Annotation] = []
+        #: Bumped on every operation-record mutation (annotations are
+        #: excluded); an observable change counter for tests and
+        #: tooling that cache derived views of the history.
+        self.version = 0
+        self._fp_fold = 0
+        #: Set by the bulk builders (restrict / with_synthetic): the
+        #: fold is recomputed lazily on first demand, so derived
+        #: histories built on the checker hot path pay nothing unless
+        #: somebody actually fingerprints them.
+        self._fp_stale = False
+
+    @staticmethod
+    def _fp_digest(record: OperationRecord) -> int:
+        """Digest of one record's verdict-relevant content (times excluded)."""
+        return digest64(
+            "op\x00"
+            + repr(
+                (
+                    record.op_id,
+                    record.pid,
+                    record.obj,
+                    record.op,
+                    record.args,
+                    record.responded_at is not None,
+                    abstract_value(record.result),
+                )
+            )
+        )
 
     # ------------------------------------------------------------------
     # Kernel-facing mutation
@@ -115,10 +144,13 @@ class History:
         """Append an invocation event; returns the fresh operation id."""
         op_id = self._next_id
         self._next_id += 1
-        self._records[op_id] = OperationRecord(
+        record = OperationRecord(
             op_id=op_id, pid=pid, obj=obj, op=op, args=args, invoked_at=time
         )
+        self._records[op_id] = record
         self._order.append(op_id)
+        self.version += 1
+        self._fp_fold ^= self._fp_digest(record)
         return op_id
 
     def record_response(self, op_id: int, result: Any, time: int) -> None:
@@ -128,11 +160,32 @@ class History:
             raise HistoryError(f"response for unknown operation id {op_id}")
         if record.complete:
             raise HistoryError(f"operation {op_id} already has a response")
-        self._records[op_id] = record.completed(time, result)
+        completed = record.completed(time, result)
+        self._records[op_id] = completed
+        self.version += 1
+        self._fp_fold ^= self._fp_digest(record) ^ self._fp_digest(completed)
 
     def record_annotation(self, annotation: Annotation) -> None:
         """Append a trace waypoint."""
         self._annotations.append(annotation)
+
+    def fingerprint_fold(self, full: bool = False) -> int:
+        """XOR fold of per-record digests (see ``repro.sim.fingerprint``).
+
+        Maintained eagerly by :meth:`record_invocation` /
+        :meth:`record_response` (two XORs per event) and rebuilt lazily
+        after bulk construction; ``full=True`` recomputes from the
+        records — the correctness oracle.
+        """
+        if full:
+            fold = 0
+            for record in self._records.values():
+                fold ^= self._fp_digest(record)
+            return fold
+        if self._fp_stale:
+            self._fp_fold = self.fingerprint_fold(full=True)
+            self._fp_stale = False
+        return self._fp_fold
 
     # ------------------------------------------------------------------
     # Queries
@@ -206,6 +259,8 @@ class History:
                 sub._records[op_id] = record
                 sub._order.append(op_id)
         sub._annotations = [a for a in self._annotations if a.pid in keep]
+        sub.version = self.version
+        sub._fp_stale = True
         return sub
 
     def with_synthetic(self, extra: Sequence[OperationRecord]) -> "History":
@@ -233,6 +288,8 @@ class History:
             merged._order.append(record.op_id)
         merged._next_id = max((r.op_id for r in records), default=-1) + 1
         merged._annotations = list(self._annotations)
+        merged.version = self.version + len(extra)
+        merged._fp_stale = True
         return merged
 
     def completions(self) -> Iterable[List[OperationRecord]]:

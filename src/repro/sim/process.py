@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable, List, Optional, Sequence, Tuple
 
-from repro.sim.effects import Effect, Invoke, Pause, Respond
+from repro.sim.effects import PAUSE, Effect, Invoke, Respond
 
 #: The type of a process program: a generator of effects.
 Program = Generator[Effect, Any, Any]
@@ -45,13 +45,13 @@ def call(
 def idle_forever() -> Program:
     """A program that only pauses; used for silent (crashed) processes."""
     while True:
-        yield Pause()
+        yield PAUSE
 
 
 def pause_steps(count: int) -> Program:
     """Yield exactly ``count`` pause steps, then return."""
     for _ in range(count):
-        yield Pause()
+        yield PAUSE
     return None
 
 

@@ -29,6 +29,7 @@ from repro.errors import (
     ReadPermissionError,
     UnknownRegisterError,
 )
+from repro.sim.fingerprint import digest64
 from repro.sim.values import freeze
 
 
@@ -79,6 +80,14 @@ class RegisterFile:
         self._write_counts: Dict[str, int] = {}
         self._record_accesses = record_accesses
         self._access_log: List[RegisterAccess] = []
+        #: Bumped on every mutation (install / write / reset): an
+        #: observable change counter for tests and tooling that cache
+        #: derived views of shared memory. (The incremental fingerprint
+        #: itself tracks the finer-grained per-name dirty set below.)
+        self.version = 0
+        self._fp_digests: Dict[str, int] = {}
+        self._fp_dirty: set = set()
+        self._fp_fold = 0
 
     # ------------------------------------------------------------------
     # Installation
@@ -91,6 +100,8 @@ class RegisterFile:
         self._values[spec.name] = freeze(spec.initial)
         self._read_counts[spec.name] = 0
         self._write_counts[spec.name] = 0
+        self.version += 1
+        self._fp_dirty.add(spec.name)
 
     def install_all(self, specs: Iterable[RegisterSpec]) -> None:
         """Install every spec in ``specs``."""
@@ -123,9 +134,12 @@ class RegisterFile:
     # ------------------------------------------------------------------
     def read(self, pid: int, name: str, time: int) -> Any:
         """Atomic read of ``name`` by ``pid`` at virtual time ``time``."""
-        self._require(name)
-        spec = self._specs[name]
-        if not spec.readable_by(pid):
+        # Hottest method in the repository (one call per ReadRegister
+        # step): permission check inlined, single spec lookup.
+        spec = self._specs.get(name)
+        if spec is None:
+            raise UnknownRegisterError(f"no register named {name!r}")
+        if spec.readers is not None and pid not in spec.readers:
             raise ReadPermissionError(
                 f"process {pid} may not read SWSR register {name!r} "
                 f"(readers: {sorted(spec.readers or ())})"
@@ -143,8 +157,9 @@ class RegisterFile:
         models the hardware write port: the check applies to *all*
         processes, Byzantine ones included.
         """
-        self._require(name)
-        spec = self._specs[name]
+        spec = self._specs.get(name)
+        if spec is None:
+            raise UnknownRegisterError(f"no register named {name!r}")
         if spec.writer != pid:
             raise OwnershipError(
                 f"process {pid} attempted to write register {name!r} "
@@ -153,6 +168,8 @@ class RegisterFile:
         frozen = freeze(value)
         self._values[name] = frozen
         self._write_counts[name] += 1
+        self.version += 1
+        self._fp_dirty.add(name)
         if self._record_accesses:
             self._access_log.append(RegisterAccess(time, pid, name, "write", frozen))
 
@@ -178,6 +195,37 @@ class RegisterFile:
         """
         self._require(name)
         self._values[name] = freeze(self._specs[name].initial)
+        self.version += 1
+        self._fp_dirty.add(name)
+
+    # ------------------------------------------------------------------
+    # Fingerprinting (kernel hook)
+    # ------------------------------------------------------------------
+    def fingerprint_fold(self, full: bool = False) -> int:
+        """XOR fold of per-register digests (see ``repro.sim.fingerprint``).
+
+        Incrementally maintained: only registers written since the last
+        call are re-hashed. ``full=True`` recomputes every digest from
+        the current values without touching the caches — the correctness
+        oracle the incremental path is checked against.
+        """
+        if full:
+            fold = 0
+            for name, value in self._values.items():
+                fold ^= digest64(f"reg\x00{name}\x00{value!r}")
+            return fold
+        dirty = self._fp_dirty
+        if dirty:
+            digests = self._fp_digests
+            values = self._values
+            fold = self._fp_fold
+            for name in dirty:
+                fresh = digest64(f"reg\x00{name}\x00{values[name]!r}")
+                fold ^= digests.get(name, 0) ^ fresh
+                digests[name] = fresh
+            dirty.clear()
+            self._fp_fold = fold
+        return self._fp_fold
 
     # ------------------------------------------------------------------
     # Metrics

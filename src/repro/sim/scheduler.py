@@ -63,19 +63,53 @@ class RoundRobinScheduler(Scheduler):
     that finish simply drop out. Every live coroutine takes a step at
     least once per full rotation, which satisfies the fairness premise of
     all the paper's termination proofs.
+
+    ``select`` runs once per kernel step, so the rotation is O(1) on the
+    hot path: the kernel hands schedulers one cached immutable tuple
+    until membership changes, and as long as the same tuple comes back,
+    "first id greater than the last choice" is simply the next position.
+    The scan fallback handles membership changes and non-tuple callers.
     """
 
     def __init__(self) -> None:
         self._last: Optional[CoroutineId] = None
+        self._seen: Optional[Tuple[CoroutineId, ...]] = None
+        self._index = -1
 
     def select(self, runnable: Sequence[CoroutineId], clock: int) -> CoroutineId:
-        if self._last is None:
-            choice = runnable[0]
+        return runnable[self.select_index(runnable, clock)]
+
+    def select_index(self, runnable: Sequence[CoroutineId], clock: int) -> int:
+        """Like :meth:`select` but returns the chosen *index*.
+
+        The record/replay layer (:class:`TraceScheduler`) stores decision
+        indices; exposing the index directly saves it a linear
+        ``runnable.index`` scan on every step. This is the primary entry
+        point (``select`` wraps it), so the rotation fast path pays one
+        call, not two.
+
+        NOTE: :meth:`TraceScheduler.select` inlines this exact rotation
+        as its fused fallback fast path (one call per kernel step is
+        measurably cheaper than two) — any change to the algorithm here
+        must be mirrored there.
+        """
+        if runnable is self._seen:
+            index = self._index + 1
+            if index >= len(runnable):
+                index = 0
         else:
-            later = [cid for cid in runnable if cid > self._last]
-            choice = later[0] if later else runnable[0]
-        self._last = choice
-        return choice
+            last = self._last
+            index = 0
+            if last is not None:
+                for position, cid in enumerate(runnable):
+                    if cid > last:
+                        index = position
+                        break
+            if type(runnable) is tuple:
+                self._seen = runnable
+        self._index = index
+        self._last = runnable[index]
+        return index
 
 
 class RandomScheduler(Scheduler):
@@ -217,10 +251,13 @@ class TraceScheduler(Scheduler):
     :class:`SchedulerError` when an index is out of range, i.e. the
     prefix is not realizable against this scenario), then delegates to
     ``fallback`` — round robin unless specified, so every bounded prefix
-    extends to a *fair* completion. Every choice, scripted or delegated,
-    is appended to :attr:`trace` / :attr:`chosen`, and the runnable sets
-    of the first ``horizon`` steps are kept in :attr:`runnables` for the
-    systematic explorer's frontier expansion.
+    extends to a *fair* completion. The decision-index :attr:`trace` is
+    recorded for the whole run (it is the replay script); the heavier
+    per-step observations — :attr:`chosen`, :attr:`runnables`, and
+    :attr:`cumulative_preemptions` — are only kept for the first
+    ``horizon`` steps, which is all the systematic explorer's frontier
+    expansion reads. ``horizon=None`` (the default) records everything,
+    preserving the original contract for replay tooling and tests.
     """
 
     def __init__(
@@ -231,49 +268,106 @@ class TraceScheduler(Scheduler):
     ):
         self._prefix = tuple(prefix)
         self._fallback = fallback or RoundRobinScheduler()
+        #: Index-direct fast path (no ``runnable.index`` scan) for
+        #: fallbacks that expose ``select_index`` (round robin does).
+        self._fallback_index = getattr(self._fallback, "select_index", None)
+        #: Plain round-robin fallbacks are fused into select() itself —
+        #: one call per kernel step instead of two. The rotation state
+        #: lives here; the fallback object is then never consulted.
+        self._fused_rr = type(self._fallback) is RoundRobinScheduler
+        self._rr_last: Optional[CoroutineId] = (
+            self._fallback._last if self._fused_rr else None
+        )
+        self._rr_seen: Optional[Tuple[CoroutineId, ...]] = None
+        self._rr_index = -1
         self._horizon = horizon
+        #: Single int compare on the hot path (huge -> record forever).
+        self._record_until = (1 << 62) if horizon is None else horizon
+        self._last_chosen: Optional[CoroutineId] = None
         #: Index chosen at each step (prefix entries included).
         self.trace: List[int] = []
-        #: Coroutine chosen at each step.
+        #: Coroutine chosen at each of the first ``horizon`` steps.
         self.chosen: List[CoroutineId] = []
         #: Runnable tuple at each of the first ``horizon`` steps.
         self.runnables: List[Tuple[CoroutineId, ...]] = []
         #: ``cumulative_preemptions[i]`` = preemptions among steps < i. A
         #: *preemption* is a switch away from a coroutine that could have
-        #: continued (it is still in the runnable set).
+        #: continued (it is still in the runnable set). Kept for the
+        #: first ``horizon`` steps.
         self.cumulative_preemptions: List[int] = [0]
 
     def select(self, runnable: Sequence[CoroutineId], clock: int) -> CoroutineId:
         trace = self.trace
         depth = len(trace)
-        if depth < len(self._prefix):
-            index = self._prefix[depth]
+        prefix = self._prefix
+        if depth < len(prefix):
+            index = prefix[depth]
             if not 0 <= index < len(runnable):
                 raise SchedulerError(
                     f"trace index {index} out of range at step {depth}: "
                     f"only {len(runnable)} runnable coroutines"
                 )
             choice = runnable[index]
+        elif self._fused_rr:
+            # Inlined RoundRobinScheduler rotation (see select_index
+            # there): next position while the runnable tuple is the
+            # kernel's cached one, first-greater scan on change.
+            if runnable is self._rr_seen:
+                index = self._rr_index + 1
+                if index >= len(runnable):
+                    index = 0
+            else:
+                last = self._rr_last
+                index = 0
+                if last is not None:
+                    for position, cid in enumerate(runnable):
+                        if cid > last:
+                            index = position
+                            break
+                if type(runnable) is tuple:
+                    self._rr_seen = runnable
+            self._rr_index = index
+            choice = runnable[index]
+            self._rr_last = choice
+        elif self._fallback_index is not None:
+            index = self._fallback_index(runnable, clock)
+            choice = runnable[index]
         else:
             choice = self._fallback.select(runnable, clock)
             index = runnable.index(choice)
-        chosen = self.chosen
-        previous = chosen[-1] if chosen else None
-        preempted = (
-            previous is not None and choice != previous and previous in runnable
-        )
-        preemptions = self.cumulative_preemptions
-        preemptions.append(preemptions[-1] + (1 if preempted else 0))
-        if self._horizon is None or depth < self._horizon:
+        if depth < self._record_until:
+            previous = self._last_chosen
+            preempted = (
+                previous is not None and choice != previous and previous in runnable
+            )
+            preemptions = self.cumulative_preemptions
+            preemptions.append(preemptions[-1] + (1 if preempted else 0))
             self.runnables.append(tuple(runnable))
+            self.chosen.append(choice)
+        self._last_chosen = choice
         trace.append(index)
-        chosen.append(choice)
         return choice
 
     @property
     def prefix(self) -> Tuple[int, ...]:
         """The forced decision prefix this scheduler replays."""
         return self._prefix
+
+    def extend_prefix(self, *indices: int) -> None:
+        """Append forced decisions to the prefix.
+
+        Used by the fork-based branch executor: a child process that
+        inherited a run suspended exactly at the end of the replayed
+        prefix appends its sibling's decision index and resumes — the
+        continuation then replays ``prefix + (index,)`` bit for bit.
+        Only legal while no fallback decision has been taken yet.
+        """
+        if len(self.trace) > len(self._prefix):
+            raise SchedulerError(
+                "cannot extend prefix: fallback decisions already taken "
+                f"({len(self.trace)} steps > {len(self._prefix)} forced)"
+            )
+        self._prefix = self._prefix + tuple(indices)
 
     def describe(self) -> str:
         return (

@@ -22,7 +22,6 @@ fault bound ``f``.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -39,51 +38,20 @@ from repro.sim.effects import (
     Send,
     WriteRegister,
 )
+from repro.sim.fingerprint import (
+    PRIMITIVE_TYPES as _PRIMITIVE_TYPES,
+    abstract_value as _abstract_value,
+    combine64,
+    digest64,
+    generator_signature as _generator_signature,
+)
 from repro.sim.history import Annotation, History
 from repro.sim.process import Program
 from repro.sim.registers import RegisterFile, RegisterSpec
 from repro.sim.scheduler import CoroutineId, RoundRobinScheduler, Scheduler
 
 
-#: Local-variable types embedded verbatim in fingerprints; anything else
-#: is abstracted to its type name (see :meth:`System.fingerprint`).
-_PRIMITIVE_TYPES = (int, float, str, bytes, bool, type(None), frozenset, tuple)
-
-
-def _abstract_value(value: Any) -> str:
-    """Fingerprint encoding of one Python value (primitive or abstracted)."""
-    if isinstance(value, _PRIMITIVE_TYPES):
-        return repr(value)
-    return f"<{type(value).__name__}>"
-
-
-def _generator_signature(program: Any) -> Tuple[Any, ...]:
-    """Resume-point signature of a (possibly delegating) generator.
-
-    Walks the ``yield from`` chain; for each suspended frame records the
-    code object's identity, the instruction offset, and the primitive
-    locals. A finished or unstarted generator contributes its state tag.
-    """
-    parts: List[Any] = []
-    seen = 0
-    while program is not None and seen < 32:
-        seen += 1
-        frame = getattr(program, "gi_frame", None)
-        if frame is None:
-            parts.append(("done", getattr(program, "__name__", "?")))
-            break
-        local_items = tuple(
-            (key, _abstract_value(value))
-            for key, value in sorted(frame.f_locals.items())
-        )
-        # co_qualname needs 3.11; co_name keeps 3.10 working.
-        code_name = getattr(frame.f_code, "co_qualname", frame.f_code.co_name)
-        parts.append((code_name, frame.f_lasti, local_items))
-        program = getattr(program, "gi_yieldfrom", None)
-    return tuple(parts)
-
-
-@dataclass
+@dataclass(slots=True)
 class _Coroutine:
     """Kernel-internal state of one spawned program."""
 
@@ -94,9 +62,15 @@ class _Coroutine:
     next_send: Any = None
     steps_taken: int = 0
     error: Optional[BaseException] = None
+    #: Bound ``program.send``, cached at spawn — the kernel resumes the
+    #: coroutine every step, and the attribute chase shows up in profiles.
+    resume: Optional[Callable[[Any], Any]] = None
+
+    def __post_init__(self) -> None:
+        self.resume = self.program.send
 
 
-@dataclass
+@dataclass(slots=True)
 class StepMetrics:
     """Aggregate counters exposed for the analysis layer."""
 
@@ -167,6 +141,16 @@ class System:
         self._mailboxes: Dict[int, List[Tuple[int, Any]]] = {
             pid: [] for pid in self.pids
         }
+        # Incremental-fingerprint caches for the two components the
+        # kernel owns directly (registers and history keep their own):
+        # per-item digests, the XOR fold, and the dirty set of items
+        # touched since the last fingerprint() call.
+        self._mbox_digests: Dict[int, int] = {}
+        self._mbox_dirty: set = set(self.pids)
+        self._mbox_fold = 0
+        self._co_digests: Dict[CoroutineId, int] = {}
+        self._co_dirty: set = set()
+        self._co_fold = 0
         #: Message-delivery hook installed by ``repro.mp.network``; None in
         #: pure shared-memory systems (Send/Broadcast then deliver
         #: immediately into mailboxes).
@@ -227,19 +211,43 @@ class System:
             raise ConfigurationError(f"coroutine {cid!r} already spawned")
         self._coroutines[cid] = _Coroutine(cid=cid, program=program)
         self._runnable_cache = None
+        self._co_dirty.add(cid)
         return cid
 
     def despawn(self, cid: CoroutineId) -> None:
         """Remove a coroutine (e.g. to crash a process mid-run)."""
         self._coroutines.pop(cid, None)
         self._runnable_cache = None
+        self._co_dirty.add(cid)
+
+    def release_coroutines(self) -> None:
+        """Drop every coroutine and detach the step observer.
+
+        Spawned generators close over the system while the coroutine
+        table references them, forming a cycle only the garbage
+        collector can break. Search loops that churn thousands of
+        short-lived systems run with the cyclic collector paused and
+        call this once a run's verdict is extracted, so plain reference
+        counting reclaims the whole run immediately. The system is not
+        steppable afterwards; registers and history remain readable.
+        """
+        self._coroutines.clear()
+        self._co_digests.clear()
+        self._co_dirty.clear()
+        self._co_fold = 0
+        self._runnable_cache = None
+        self.on_step = None
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def runnable(self) -> List[CoroutineId]:
-        """Coroutines that can take a step, in deterministic order."""
-        return list(self._runnable())
+    def runnable(self) -> Tuple[CoroutineId, ...]:
+        """Coroutines that can take a step, in deterministic order.
+
+        Returns the kernel's cached tuple directly (no per-call list
+        allocation); callers that want to mutate must copy.
+        """
+        return self._runnable()
 
     def _runnable(self) -> Tuple[CoroutineId, ...]:
         """The cached runnable tuple the kernel hands to schedulers."""
@@ -256,31 +264,41 @@ class System:
 
     def step(self) -> bool:
         """Advance one coroutine by one effect; False if none runnable."""
-        runnable = self._runnable()
+        runnable = self._runnable_cache
+        if runnable is None:
+            runnable = self._runnable()
         if not runnable:
             return False
         cid = self.scheduler.select(runnable, self.clock)
         co = self._coroutines.get(cid)
         if co is None or co.finished:
             raise SchedulerError(f"scheduler chose non-runnable coroutine {cid!r}")
-        self.clock += 1
+        clock = self.clock + 1
+        self.clock = clock
         self.metrics.total_steps += 1
         co.steps_taken += 1
+        self._co_dirty.add(cid)
         if self.network is not None:
-            self.network.tick(self.clock, self)
+            self.network.tick(clock, self)
         try:
-            if not co.started:
-                co.started = True
-                effect = next(co.program)
+            if co.started:
+                effect = co.resume(co.next_send)
             else:
-                effect = co.program.send(co.next_send)
+                co.started = True
+                effect = co.resume(None)
         except StopIteration:
             co.finished = True
             self._runnable_cache = None
             if self.on_step is not None:
                 self.on_step(cid, None)
             return True
-        co.next_send = self._execute(cid, effect)
+        # Inlined _execute fast path: one dict probe per step; the
+        # method handles subclass resolution and unknown effects.
+        handler = self._HANDLERS.get(type(effect))
+        if handler is None:
+            co.next_send = self._execute(cid, effect)
+        else:
+            co.next_send = handler(self, cid[0], effect)
         if self.on_step is not None:
             self.on_step(cid, effect)
         return True
@@ -288,7 +306,8 @@ class System:
     def run(self, max_steps: int) -> int:
         """Take up to ``max_steps`` steps; returns how many were taken."""
         taken = 0
-        while taken < max_steps and self.step():
+        step = self.step
+        while taken < max_steps and step():
             taken += 1
         return taken
 
@@ -303,8 +322,22 @@ class System:
         The predicate is checked before each step, so a predicate that
         already holds costs zero steps. Liveness tests rely on the raised
         :class:`StepLimitExceeded` to flag non-termination.
+
+        This is the kernel's hottest loop (every scenario drives through
+        it), so the uninstrumented case — no ``on_step`` observer, no
+        network — runs an inlined copy of :meth:`step`'s body with the
+        lookups hoisted out of the loop. The two bodies must stay
+        behaviourally identical; the record/replay determinism tests
+        pin them together. Steps with hooks installed take the plain
+        :meth:`step` path, so observers still see every step.
         """
         taken = 0
+        step = self.step
+        coroutines_get = self._coroutines.get
+        handlers_get = self._HANDLERS.get
+        metrics = self.metrics
+        co_dirty_add = self._co_dirty.add
+        scheduler_select = self.scheduler.select
         while True:
             if predicate():
                 return taken
@@ -314,12 +347,50 @@ class System:
                     f"(clock={self.clock})",
                     steps=taken,
                 )
-            if not self.step():
+            if self.on_step is not None or self.network is not None:
+                if not step():
+                    raise StepLimitExceeded(
+                        f"{label} unreachable: no runnable coroutines left "
+                        f"(clock={self.clock})",
+                        steps=taken,
+                    )
+                taken += 1
+                continue
+            # ---- inlined step() body (uninstrumented fast path) ----
+            runnable = self._runnable_cache
+            if runnable is None:
+                runnable = self._runnable()
+            if not runnable:
                 raise StepLimitExceeded(
                     f"{label} unreachable: no runnable coroutines left "
                     f"(clock={self.clock})",
                     steps=taken,
                 )
+            cid = scheduler_select(runnable, self.clock)
+            co = coroutines_get(cid)
+            if co is None or co.finished:
+                raise SchedulerError(
+                    f"scheduler chose non-runnable coroutine {cid!r}"
+                )
+            self.clock += 1
+            metrics.total_steps += 1
+            co.steps_taken += 1
+            co_dirty_add(cid)
+            try:
+                if co.started:
+                    effect = co.resume(co.next_send)
+                else:
+                    co.started = True
+                    effect = co.resume(None)
+            except StopIteration:
+                co.finished = True
+                self._runnable_cache = None
+            else:
+                handler = handlers_get(type(effect))
+                if handler is None:
+                    co.next_send = self._execute(cid, effect)
+                else:
+                    co.next_send = handler(self, cid[0], effect)
             taken += 1
 
     def steps_of(self, cid: CoroutineId) -> int:
@@ -350,7 +421,21 @@ class System:
 
     def _exec_read(self, pid: int, effect: ReadRegister) -> Any:
         self.metrics.reads += 1
-        return self.registers.read(pid, effect.register, self.clock)
+        # Fast path for the most frequent effect in the repository: an
+        # allowed SWMR/SWSR read with no access log. Anything unusual —
+        # unknown name, permission check, logging — delegates to
+        # RegisterFile.read, which owns the error semantics.
+        registers = self.registers
+        name = effect.register
+        spec = registers._specs.get(name)
+        if (
+            spec is None
+            or registers._record_accesses
+            or (spec.readers is not None and pid not in spec.readers)
+        ):
+            return registers.read(pid, name, self.clock)
+        registers._read_counts[name] += 1
+        return registers._values[name]
 
     def _exec_write(self, pid: int, effect: WriteRegister) -> None:
         self.metrics.writes += 1
@@ -385,15 +470,31 @@ class System:
         return None
 
     def _exec_broadcast(self, pid: int, effect: Broadcast) -> None:
-        for dest in self.pids:
-            self.metrics.messages_sent += 1
-            self._send(pid, dest, effect.payload)
+        # Bookkeeping hoisted out of the delivery loop: destinations are
+        # exactly 1..n (always valid), and the counter is bumped once.
+        n = self.n
+        payload = effect.payload
+        self.metrics.messages_sent += n
+        if self.network is not None:
+            clock = self.clock
+            for dest in range(1, n + 1):
+                self.network.submit(pid, dest, payload, clock)
+        else:
+            mailboxes = self._mailboxes
+            dirty = self._mbox_dirty
+            message = (pid, payload)
+            for dest in range(1, n + 1):
+                mailboxes[dest].append(message)
+                dirty.add(dest)
         return None
 
     def _exec_receive_all(self, pid: int, effect: ReceiveAll) -> Tuple:
         box = self._mailboxes[pid]
+        if not box:
+            return ()
         delivered = tuple(box)
         box.clear()
+        self._mbox_dirty.add(pid)
         return delivered
 
     #: Effect-type dispatch table, class-level so instances stay
@@ -414,21 +515,71 @@ class System:
     }
 
     def _send(self, sender: int, dest: int, payload: Any) -> None:
-        if dest not in self.pids:
+        if not 1 <= dest <= self.n:
             raise ConfigurationError(f"send to unknown pid {dest}")
         if self.network is not None:
             self.network.submit(sender, dest, payload, self.clock)
         else:
             self._mailboxes[dest].append((sender, payload))
+            self._mbox_dirty.add(dest)
 
     def deliver(self, sender: int, dest: int, payload: Any) -> None:
         """Place a message into ``dest``'s mailbox (network layer hook)."""
         self._mailboxes[dest].append((sender, payload))
+        self._mbox_dirty.add(dest)
 
     # ------------------------------------------------------------------
     # State fingerprinting (repro.explore hook)
     # ------------------------------------------------------------------
-    def fingerprint(self) -> int:
+    @staticmethod
+    def _co_digest(cid: CoroutineId, co: _Coroutine) -> int:
+        """Digest of one coroutine's resume point (see fingerprint())."""
+        return digest64(
+            "co\x00"
+            + repr(
+                (
+                    cid,
+                    co.started,
+                    co.finished,
+                    _generator_signature(co.program),
+                    _abstract_value(co.next_send),
+                )
+            )
+        )
+
+    def _flush_mailbox_fold(self) -> int:
+        """Re-digest mailboxes touched since the last fingerprint."""
+        dirty = self._mbox_dirty
+        if dirty:
+            digests = self._mbox_digests
+            mailboxes = self._mailboxes
+            fold = self._mbox_fold
+            for pid in dirty:
+                fresh = digest64(f"mbox\x00{pid}\x00{tuple(mailboxes[pid])!r}")
+                fold ^= digests.get(pid, 0) ^ fresh
+                digests[pid] = fresh
+            dirty.clear()
+            self._mbox_fold = fold
+        return self._mbox_fold
+
+    def _flush_coroutine_fold(self) -> int:
+        """Re-digest coroutines that stepped / spawned / despawned."""
+        dirty = self._co_dirty
+        if dirty:
+            digests = self._co_digests
+            coroutines = self._coroutines
+            fold = self._co_fold
+            for cid in dirty:
+                co = coroutines.get(cid)
+                fresh = 0 if co is None else self._co_digest(cid, co)
+                fold ^= digests.pop(cid, 0) ^ fresh
+                if co is not None:
+                    digests[cid] = fresh
+            dirty.clear()
+            self._co_fold = fold
+        return self._co_fold
+
+    def fingerprint(self, full: bool = False) -> int:
         """A 64-bit abstraction of the *forward-relevant* system state.
 
         Two states with equal fingerprints behave identically (modulo the
@@ -451,35 +602,36 @@ class System:
         timestamps) are excluded so that commuting interleavings of the
         same events still converge; precedence differences expressed
         purely through interval timing are the remaining approximation.
+
+        The digest is maintained *incrementally*: each component
+        (registers, mailboxes, history, coroutines) keeps per-item
+        digests combined by XOR fold, and a step only re-hashes the
+        items it actually touched (dirty-tracking via bump-on-mutate
+        counters in the component classes), making the per-step cost
+        O(|delta|) rather than O(|state|). ``full=True`` bypasses every
+        cache and recomputes from scratch — the correctness oracle; the
+        two paths must agree on every reachable state
+        (``tests/test_fingerprint_incremental.py`` holds them to it).
         """
-        state = (
-            tuple(self.registers.items()),
-            tuple(sorted(self._mailboxes.items())),
-            tuple(
-                (
-                    record.op_id,
-                    record.pid,
-                    record.obj,
-                    record.op,
-                    record.args,
-                    record.complete,
-                    _abstract_value(record.result),
-                )
-                for record in self.history.all()
-            ),
-            tuple(
-                (
-                    cid,
-                    co.started,
-                    co.finished,
-                    _generator_signature(co.program),
-                    _abstract_value(co.next_send),
-                )
-                for cid, co in sorted(self._coroutines.items())
-            ),
+        if full:
+            mbox = 0
+            for pid, box in self._mailboxes.items():
+                mbox ^= digest64(f"mbox\x00{pid}\x00{tuple(box)!r}")
+            cos = 0
+            for cid, co in self._coroutines.items():
+                cos ^= self._co_digest(cid, co)
+            return combine64(
+                self.registers.fingerprint_fold(full=True),
+                mbox,
+                self.history.fingerprint_fold(full=True),
+                cos,
+            )
+        return combine64(
+            self.registers.fingerprint_fold(),
+            self._flush_mailbox_fold(),
+            self.history.fingerprint_fold(),
+            self._flush_coroutine_fold(),
         )
-        digest = hashlib.blake2b(repr(state).encode(), digest_size=8)
-        return int.from_bytes(digest.digest(), "big")
 
     # ------------------------------------------------------------------
     def describe(self) -> str:

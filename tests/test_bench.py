@@ -1,0 +1,118 @@
+"""The perf-regression harness (``python -m repro.analysis bench``).
+
+Fast tests only: individual cells at tiny budgets, the calibration
+loop, the non-gating compare logic, and the shared text+JSON table
+emitter. The full matrix runs from the CLI / the CI bench-smoke job,
+not from tier-1.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import bench
+from repro.analysis.reporting import emit_table, table_payload
+
+
+class TestCalibration:
+    def test_score_is_positive_and_stable_order_of_magnitude(self):
+        a = bench.calibration_score(duration=0.05)
+        b = bench.calibration_score(duration=0.05)
+        assert a > 0 and b > 0
+        assert 0.2 < a / b < 5  # same machine, same ballpark
+
+
+class TestCells:
+    def test_kernel_steps_cell(self):
+        metrics = bench._bench_kernel_steps(smoke=True)
+        assert metrics["steps_per_s"] > 0
+
+    def test_kernel_fingerprint_cell(self):
+        metrics = bench._bench_kernel_fingerprint(smoke=True)
+        assert metrics["fingerprints_per_s"] > 0
+
+    def test_explore_cell_asserts_the_theorem_shape(self):
+        # The violating scenario must actually violate inside the bench
+        # (a drifted workload must fail loudly, not produce numbers).
+        metrics = bench._bench_explore(smoke=True, extra_correct=False)
+        assert metrics["states_per_s"] > 0 and metrics["runs_per_s"] > 0
+
+
+class TestCompare:
+    def _payload(self, value: float) -> dict:
+        return {
+            "cells": {
+                "kernel.steps": {
+                    "steps_per_s": {"raw": value, "normalized": value}
+                }
+            }
+        }
+
+    def test_regression_warns(self):
+        warnings = bench.compare(self._payload(1000.0), self._payload(700.0))
+        assert len(warnings) == 1 and "regressed" in warnings[0]
+
+    def test_small_drift_and_improvement_are_silent(self):
+        assert not bench.compare(self._payload(1000.0), self._payload(900.0))
+        assert not bench.compare(self._payload(1000.0), self._payload(2000.0))
+
+    def test_unknown_cells_are_ignored(self):
+        current = {
+            "cells": {"new.cell": {"x_per_s": {"raw": 1.0, "normalized": 1.0}}}
+        }
+        assert not bench.compare(self._payload(1000.0), current)
+
+    def test_smoke_flag_mismatch_refuses_comparison(self):
+        # Smoke and full budgets are not rate-comparable; a regression
+        # must not hide behind (nor be faked by) a matrix mismatch.
+        full = dict(self._payload(1000.0), smoke=False)
+        smoke = dict(self._payload(10.0), smoke=True)
+        warnings = bench.compare(full, smoke)
+        assert len(warnings) == 1 and "not comparable" in warnings[0]
+
+
+class TestEmitTable:
+    def test_writes_text_and_json(self, tmp_path, capsys):
+        emit_table(
+            "sample",
+            ("a", "b"),
+            [(1, 2.5), ("x", True)],
+            title="Sample",
+            results_dir=tmp_path,
+        )
+        text = (tmp_path / "sample.txt").read_text()
+        assert "Sample" in text and "2.5" in text
+        payload = json.loads((tmp_path / "sample.json").read_text())
+        assert payload == table_payload("a b".split(), [[1, 2.5], ["x", True]], "Sample")
+        assert "Sample" in capsys.readouterr().out
+
+    def test_cli_smoke_no_write(self, tmp_path, capsys, monkeypatch):
+        # Exercise arg parsing + compare path without the heavy matrix.
+        monkeypatch.setattr(
+            bench, "_matrix", lambda smoke: [("kernel.steps", {"steps_per_s": 10.0})]
+        )
+        baseline = tmp_path / "base.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "smoke": True,
+                    "cells": {
+                        "kernel.steps": {
+                            "steps_per_s": {"raw": 100.0, "normalized": 1e9}
+                        }
+                    },
+                }
+            )
+        )
+        out = tmp_path / "out.json"
+        code = bench.main(
+            ["--smoke", "--json", str(out), "--compare", str(baseline)]
+        )
+        assert code == 0  # warnings are non-gating
+        captured = capsys.readouterr().out
+        assert "WARN" in captured and "non-gating" in captured
+        written = json.loads(out.read_text())
+        assert written["schema"] == bench.SCHEMA
+        assert written["cells"]["kernel.steps"]["steps_per_s"]["raw"] == 10.0

@@ -102,7 +102,7 @@ class TestStepping:
 
         system.spawn(1, "client", short())
         system.run(10)
-        assert system.runnable() == []
+        assert system.runnable() == ()
 
     def test_ownership_enforced_through_effects(self):
         system = System(n=2)
@@ -135,7 +135,7 @@ class TestStepping:
         cid = system.spawn(1, "x", forever())
         system.run(3)
         system.despawn(cid)
-        assert system.runnable() == []
+        assert system.runnable() == ()
 
 
 class TestRunUntil:
