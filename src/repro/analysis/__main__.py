@@ -433,9 +433,15 @@ def _campaign_main(argv: Sequence[str]) -> int:
             # pass vacuously.
             print(f"FAIL: corpus {corpus_dir} is empty; nothing to replay")
             return 1
+        # One shared CheckContext across the whole batch: entries of the
+        # same scenario shape share spec.apply transitions and repeated
+        # replays share whole verdicts.
+        from repro.spec import CheckContext
+
+        replay_ctx = CheckContext()
         failures = 0
         for entry in entries:
-            outcome = replay_entry(entry)
+            outcome = replay_entry(entry, ctx=replay_ctx)
             status = "ok" if outcome.ok else f"FAIL ({outcome.detail})"
             print(f"replay {entry.label()}: {status}")
             failures += 0 if outcome.ok else 1

@@ -18,8 +18,13 @@ The matrix is deliberately the hot-path inventory of the repository:
   workloads (violating and clean Theorem 29 scenarios).
 * ``fuzz.single`` — the swarm fuzzer, one shard (the campaign-cell
   shape).
+* ``spec.linearize`` / ``spec.byzantine_complete`` — the oracle layer's
+  own trajectory: raw Wing–Gong and Byzantine-completion throughput on
+  canned history sets, memo caches off.
 * ``campaign.cell`` — one differential-conformance cell end to end
   through ``repro.campaign.run_campaign``.
+* ``explore.dfs.3f.fork`` (multi-core hosts only) — the fork-engine
+  crossover probe behind the ``prefix_sharing="auto"`` tuning.
 
 ``--compare BASELINE`` checks the fresh run against a committed
 baseline and *warns* (never fails) when a cell's normalized metric
@@ -122,7 +127,9 @@ def _bench_kernel_fingerprint(smoke: bool) -> Dict[str, float]:
     return {"fingerprints_per_s": prints / elapsed}
 
 
-def _bench_explore(smoke: bool, extra_correct: bool) -> Dict[str, float]:
+def _bench_explore(
+    smoke: bool, extra_correct: bool, engine: str = "replay"
+) -> Dict[str, float]:
     from repro.explore import explore
 
     report = explore(
@@ -132,7 +139,7 @@ def _bench_explore(smoke: bool, extra_correct: bool) -> Dict[str, float]:
         budget=80 if smoke else 400,
         # Pinned: "auto" picks the executor by host CPU count, and a
         # baseline comparison across hosts must measure one engine.
-        prefix_sharing="replay",
+        prefix_sharing=engine,
     )
     expected_violations = 0 if extra_correct else 1
     if len(report.violations) != expected_violations:
@@ -156,14 +163,182 @@ def _bench_fuzz(smoke: bool) -> Dict[str, float]:
     }
 
 
+def _canned_linearize_histories():
+    """A fixed, seeded set of verifiable-register histories.
+
+    Mixed shapes for the Wing–Gong search: sequential-heavy runs (the
+    memoized linear-time case), overlapping windows (real search), and
+    tampered responses (refutation). Deterministic by construction, so
+    the cell measures the same work on every host and run.
+    """
+    import random as _random
+
+    from repro.sim.history import OperationRecord
+    from repro.spec import VerifiableRegisterSpec
+
+    rng = _random.Random(20260728)
+    histories = []
+    for case in range(24):
+        # A random legal sequential execution with overlap-jittered
+        # intervals: linearizable by construction unless tampered.
+        spec = VerifiableRegisterSpec(initial=0)
+        state = spec.initial_state()
+        records = []
+        written = [0]
+        for op_id in range(14):
+            roll = rng.random()
+            if roll < 0.3:
+                op, args = "write", (rng.choice((10, 20, 30)),)
+            elif roll < 0.55:
+                op, args = "sign", (rng.choice(written),)
+            elif roll < 0.8:
+                op, args = "verify", (rng.choice((10, 20, 30)),)
+            else:
+                op, args = "read", ()
+            state, response = spec.apply(state, op, args)
+            if op == "write":
+                written.append(args[0])
+            center = 8 * op_id
+            jitter = rng.randint(0, 11)
+            records.append(
+                OperationRecord(
+                    op_id=op_id,
+                    pid=1 + op_id % 4,
+                    obj="r",
+                    op=op,
+                    args=args,
+                    invoked_at=center - jitter,
+                    responded_at=center + rng.randint(1, 11),
+                    result=response,
+                )
+            )
+        if case % 3 == 2:
+            # Tamper one verify so the search must refute.
+            verifies = [r for r in records if r.op == "verify"]
+            if verifies:
+                victim = rng.choice(verifies)
+                records[records.index(victim)] = OperationRecord(
+                    op_id=victim.op_id, pid=victim.pid, obj="r",
+                    op=victim.op, args=victim.args,
+                    invoked_at=victim.invoked_at,
+                    responded_at=victim.responded_at,
+                    result=not victim.result,
+                )
+        histories.append(tuple(records))
+    return histories
+
+
+def _bench_spec_linearize(smoke: bool) -> Dict[str, float]:
+    """Raw Wing–Gong throughput: checks/s on the canned history set.
+
+    Deliberately context-free (``ctx=None``): this is the trajectory of
+    the search core itself, not of the memo caches above it.
+    """
+    from repro.spec import VerifiableRegisterSpec, find_linearization
+
+    spec = VerifiableRegisterSpec(initial=0)
+    histories = _canned_linearize_histories()
+    # Sized for a stable rate (~0.2s smoke / ~0.6s full): these checks
+    # are microseconds each, and a tens-of-milliseconds sample is all
+    # scheduler-noise on shared runners.
+    iterations = 100 if smoke else 300
+    checks = 0
+    verdict_sum = None
+    started = time.perf_counter()
+    for _ in range(iterations):
+        positives = 0
+        for records in histories:
+            if find_linearization(records, spec).ok:
+                positives += 1
+            checks += 1
+        if verdict_sum is None:
+            verdict_sum = positives
+        elif verdict_sum != positives:
+            raise RuntimeError("bench workload drifted: unstable verdicts")
+    elapsed = time.perf_counter() - started
+    return {"checks_per_s": checks / elapsed}
+
+
+def _canned_byzantine_histories():
+    """Fixed Byzantine-writer verifiable histories for the synthesis path."""
+    import random as _random
+
+    from repro.sim.history import History
+
+    rng = _random.Random(1146)
+    histories = []
+    for _case in range(12):
+        history = History()
+        time_now = 0
+
+        def event(pid, obj, op, args, result, gap=2):
+            nonlocal time_now
+            op_id = history.record_invocation(pid, obj, op, args, time_now)
+            time_now += 1 + rng.randint(0, gap)
+            history.record_response(op_id, result, time_now)
+            time_now += 1 + rng.randint(0, gap)
+            return op_id
+
+        values = [10, 20, 30]
+        # Correct readers (2..4) around a Byzantine writer (1): failed
+        # verifies first, then successes inside valid relay windows,
+        # then reads of the verified values.
+        for value in values[: 1 + rng.randint(0, 2)]:
+            event(2 + rng.randint(0, 2), "r", "verify", (value,), False)
+            event(2 + rng.randint(0, 2), "r", "verify", (value,), True)
+            for _ in range(rng.randint(1, 3)):
+                event(2 + rng.randint(0, 2), "r", "read", (), value)
+        histories.append(history)
+    return histories
+
+
+def _bench_spec_byzantine(smoke: bool) -> Dict[str, float]:
+    """Byzantine completion throughput: synthesis + linearization per check.
+
+    Exercises :func:`repro.spec.check_verifiable` with the writer
+    Byzantine — the Definition 78 construction (window computation,
+    sliver placement, glue writes) followed by the Wing–Gong search on
+    the synthesized history. Context-free for the same reason as
+    ``spec.linearize``.
+    """
+    from repro.spec import check_verifiable
+
+    histories = _canned_byzantine_histories()
+    # Sized like spec.linearize: long enough that the rate is signal.
+    iterations = 80 if smoke else 300
+    checks = 0
+    verdict_sum = None
+    started = time.perf_counter()
+    for _ in range(iterations):
+        positives = 0
+        for history in histories:
+            verdict = check_verifiable(
+                history, correct=(2, 3, 4), obj="r", writer=1, initial=0
+            )
+            if verdict.ok:
+                positives += 1
+            checks += 1
+        if verdict_sum is None:
+            verdict_sum = positives
+        elif verdict_sum != positives:
+            raise RuntimeError("bench workload drifted: unstable verdicts")
+    elapsed = time.perf_counter() - started
+    return {"checks_per_s": checks / elapsed}
+
+
 def _bench_campaign_cell(smoke: bool) -> Dict[str, float]:
-    """One differential-conformance cell through the campaign runner."""
+    """One differential-conformance cell through the campaign runner.
+
+    The full matrix uses a 96-run cell: the first run pays the cold
+    interpreter/code paths, and a longer cell amortizes that into a
+    stable per-run rate (the reported metric is runs/s either way).
+    """
     from repro.campaign import run_campaign
     from repro.campaign.matrix import default_matrix
 
     cells = [
         cell
-        for cell in default_matrix(smoke=True)
+        for cell in default_matrix(smoke=True, swarm_budget=24 if smoke else 96)
         if cell.implementation == "verifiable" and cell.engine == "swarm"
     ][:1]
     if not cells:
@@ -175,30 +350,59 @@ def _bench_campaign_cell(smoke: bool) -> Dict[str, float]:
     return {"runs_per_s": outcome.runs_per_sec}
 
 
-#: The fixed matrix: name -> (driver, smoke-flag-aware kwargs).
-def _matrix(smoke: bool) -> List[Tuple[str, Dict[str, float]]]:
-    return [
-        ("kernel.steps", _bench_kernel_steps(smoke)),
-        ("kernel.fingerprint", _bench_kernel_fingerprint(smoke)),
-        ("explore.dfs.3f", _bench_explore(smoke, extra_correct=False)),
-        ("explore.dfs.3f1", _bench_explore(smoke, extra_correct=True)),
-        ("fuzz.single", _bench_fuzz(smoke)),
-        ("campaign.cell", _bench_campaign_cell(smoke)),
+#: The fixed matrix: name -> zero-arg driver returning the cell metrics.
+#: Drivers are lazy so :func:`run_bench` can calibrate *per cell*.
+def _matrix(smoke: bool) -> List[Tuple[str, Any]]:
+    cells = [
+        ("kernel.steps", lambda: _bench_kernel_steps(smoke)),
+        ("kernel.fingerprint", lambda: _bench_kernel_fingerprint(smoke)),
+        ("explore.dfs.3f", lambda: _bench_explore(smoke, extra_correct=False)),
+        ("explore.dfs.3f1", lambda: _bench_explore(smoke, extra_correct=True)),
+        ("fuzz.single", lambda: _bench_fuzz(smoke)),
+        ("spec.linearize", lambda: _bench_spec_linearize(smoke)),
+        ("spec.byzantine_complete", lambda: _bench_spec_byzantine(smoke)),
+        ("campaign.cell", lambda: _bench_campaign_cell(smoke)),
     ]
+    # Fork-engine crossover probe: only meaningful (and only run) where
+    # forked siblings can actually overlap. CI's multi-core runners
+    # record this in the bench artifact, which is the data the
+    # `_resolve_prefix_sharing` auto policy is tuned against
+    # (ROADMAP item (a)); compare() simply skips the cell on hosts
+    # whose baseline lacks it.
+    from repro.explore.forkexec import fork_available
+
+    if fork_available() and (os.cpu_count() or 1) >= 2:
+        cells.append(
+            (
+                "explore.dfs.3f.fork",
+                lambda: _bench_explore(smoke, False, engine="fork"),
+            )
+        )
+    return cells
 
 
 def run_bench(smoke: bool = False) -> Dict[str, Any]:
-    """Run the workload matrix; returns the BENCH_kernel.json payload."""
-    score = calibration_score()
-    scale = REFERENCE_SCORE / score
+    """Run the workload matrix; returns the BENCH_kernel.json payload.
+
+    Calibration runs immediately *before each cell*, and that local
+    score normalizes the cell it precedes: sustained benchmark load
+    throttles shared/thermally-limited hosts by several percent over a
+    full matrix, so a single up-front score would systematically
+    misprice the late cells. The recorded ``calibration_score`` is the
+    per-cell mean.
+    """
     cells: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for name, metrics in _matrix(smoke):
+    scores: List[float] = []
+    for name, driver in _matrix(smoke):
+        score = calibration_score()
+        scores.append(score)
+        scale = REFERENCE_SCORE / score
         cells[name] = {
             metric: {
                 "raw": round(value, 1),
                 "normalized": round(value * scale, 1),
             }
-            for metric, value in metrics.items()
+            for metric, value in driver().items()
         }
     return {
         "schema": SCHEMA,
@@ -208,7 +412,8 @@ def run_bench(smoke: bool = False) -> Dict[str, Any]:
             "python": platform.python_version(),
             "platform": sys.platform,
             "cpus": os.cpu_count() or 1,
-            "calibration_score": round(score, 1),
+            "calibration_score": round(sum(scores) / len(scores), 1),
+            "calibration_scores": [round(s, 1) for s in scores],
         },
         "cells": cells,
     }

@@ -31,7 +31,7 @@ from repro.core import (
     StickyRegister,
     VerifiableRegister,
 )
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, EarlyExitInterrupt
 from repro.sim import (
     OpCall,
     RandomScheduler,
@@ -42,6 +42,7 @@ from repro.sim.process import pause_steps
 from repro.sim.scheduler import Scheduler
 from repro.spec import (
     ByzantineVerdict,
+    CheckContext,
     PropertyReport,
     check_authenticated,
     check_authenticated_properties,
@@ -50,6 +51,18 @@ from repro.spec import (
     check_verifiable,
     check_verifiable_properties,
 )
+from repro.spec.properties import EarlyPropertyMonitor
+
+#: Register kind -> the property-monitor family it is judged against
+#: (the signed baseline and naive strawman implement the verifiable
+#: register's spec, mirroring :func:`checker_for`).
+_MONITOR_FAMILY = {
+    "verifiable": "verifiable",
+    "signed": "verifiable",
+    "naive-quorum": "verifiable",
+    "authenticated": "authenticated",
+    "sticky": "sticky",
+}
 
 #: Register kinds accepted throughout the analysis layer.
 REGISTER_KINDS = ("verifiable", "authenticated", "sticky", "signed", "naive-quorum")
@@ -278,10 +291,30 @@ class PreparedRegisterScenario:
     register: Any
     initial: Any
     done: Callable[[], bool]
+    #: Shared oracle caches for this run's checks (optional accelerator).
+    ctx: Optional[CheckContext] = None
+    #: Early-exit monitor wired to the history (None without early_exit).
+    monitor: Optional[EarlyPropertyMonitor] = None
 
     def run(self, max_steps: int = 2_000_000) -> int:
-        """Drive the system until every scripted client finished."""
-        return self.system.run_until(self.done, max_steps, label="all clients")
+        """Drive the system until every scripted client finished.
+
+        With an early-exit monitor attached, the run additionally stops
+        the moment the partial history carries a violation that no
+        extension can retract (the monitor's one-shot
+        :class:`~repro.errors.EarlyExitInterrupt`) — the final
+        :meth:`finish` check on the truncated history then reports it
+        without simulating the tail.
+        """
+        try:
+            return self.system.run_until(
+                self.done, max_steps, label="all clients"
+            )
+        except EarlyExitInterrupt:
+            # Only an armed monitor raises. Fresh systems clock from
+            # zero, so the clock *is* the step count of this
+            # (truncated) run.
+            return self.system.clock
 
     def finish(self, steps: int) -> ScenarioOutcome:
         """Check the produced history and package the outcome."""
@@ -292,12 +325,14 @@ class PreparedRegisterScenario:
                 self.system.correct,
                 self.register.name,
                 writer=self.register.writer,
+                ctx=self.ctx,
             )
             verdict = check_byzantine(
                 self.system.history,
                 self.system.correct,
                 self.register.name,
                 writer=self.register.writer,
+                ctx=self.ctx,
             )
         else:
             report = check_properties(
@@ -306,6 +341,7 @@ class PreparedRegisterScenario:
                 self.register.name,
                 writer=self.register.writer,
                 initial=self.initial,
+                ctx=self.ctx,
             )
             verdict = check_byzantine(
                 self.system.history,
@@ -313,6 +349,7 @@ class PreparedRegisterScenario:
                 self.register.name,
                 writer=self.register.writer,
                 initial=self.initial,
+                ctx=self.ctx,
             )
         return ScenarioOutcome(
             kind=self.kind,
@@ -340,6 +377,8 @@ def prepare_register_scenario(
     domain: Sequence[Any] = (10, 20, 30),
     initial: Any = 0,
     reader_stagger: int = 40,
+    ctx: Optional[CheckContext] = None,
+    early_exit: bool = False,
 ) -> PreparedRegisterScenario:
     """Build (but do not run) one complete register scenario.
 
@@ -357,6 +396,10 @@ def prepare_register_scenario(
         reader_stagger: Pause steps inserted before each reader's script
             so operations overlap the writer's rather than trivially
             following it.
+        ctx: Shared :class:`CheckContext` for the final checks.
+        early_exit: Attach an :class:`EarlyPropertyMonitor` so the run
+            stops as soon as the partial history is irrecoverably
+            violating (see :meth:`PreparedRegisterScenario.run`).
     """
     reader_adversaries = dict(reader_adversaries or {})
     adversary_label = writer_adversary
@@ -441,11 +484,29 @@ def prepare_register_scenario(
     # The completion watcher for each client is its stagger wrapper when
     # one exists; resolving that once keeps the per-step done-predicate
     # (checked by System.run_until before every step) off the getattr
-    # chain — it is part of the campaign replay hot path.
+    # chain — it is part of the campaign replay hot path. Watchers are
+    # consumed from the back as they finish (done flags are sticky), so
+    # the steady-state predicate touches one flag, not all of them.
     watchers = [getattr(c, "_wrapper", c) for c in clients]
+    remaining = list(watchers)
 
     def all_scripts_done() -> bool:
-        return all(w.done for w in watchers)
+        while remaining and remaining[-1].done:
+            remaining.pop()
+        return not remaining
+
+    monitor: Optional[EarlyPropertyMonitor] = None
+    if early_exit:
+        monitor = EarlyPropertyMonitor(
+            system.history,
+            _MONITOR_FAMILY[kind],
+            system.correct,
+            register.name,
+            writer=register.writer,
+            initial=initial,
+            interrupt=True,
+        )
+        system.history.on_complete = monitor.on_complete
 
     return PreparedRegisterScenario(
         kind=kind,
@@ -457,6 +518,8 @@ def prepare_register_scenario(
         register=register,
         initial=initial,
         done=all_scripts_done,
+        ctx=ctx,
+        monitor=monitor,
     )
 
 

@@ -244,19 +244,24 @@ class ReplayOutcome:
         return self.ok
 
 
-def replay_entry(entry: CorpusEntry) -> ReplayOutcome:
+def replay_entry(entry: CorpusEntry, ctx=None) -> ReplayOutcome:
     """Replay ``entry``'s trace; the same violation class must reappear.
 
     The trace is forced through a :class:`repro.sim.TraceScheduler`
     (with the usual fair round-robin completion) against a fresh build
     of the entry's scenario. Three failure shapes are distinguished:
     the prefix no longer realizable, the run clean, or the violation
-    drifted to a different class.
+    drifted to a different class. Pass one :class:`repro.spec.CheckContext`
+    as ``ctx`` when replaying a batch of entries, so the oracle layer's
+    memo tables persist across the replays.
     """
     scenario = entry.scenario_spec()
     try:
         record = execute_trace(
-            scenario, entry.trace, schedule_label=f"corpus:{entry.entry_id}"
+            scenario,
+            entry.trace,
+            schedule_label=f"corpus:{entry.entry_id}",
+            ctx=ctx,
         )
     except SchedulerError as exc:
         return ReplayOutcome(

@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SchedulerError
 from repro.explore.explorer import explore
 from repro.explore.fuzzer import default_shards, fuzz, pool_context
 from repro.explore.scenarios import Scenario, Violation, adversary_grid, make_scenario
@@ -358,7 +358,16 @@ def _run_cell(cell: CampaignCell) -> CellOutcome:
     stay a deterministic function of its spec. Cells that *expect* a
     violation stop at the first hit; the find is what matters, and the
     shrinker minimizes it afterwards.
+
+    Every cell shares one :class:`repro.spec.CheckContext` across its
+    runs (built inside the engine, so it never crosses the pool's
+    pickling boundary). Early exit is armed exactly on the cells that
+    expect *clean* runs: there it is free insurance — a regression stops
+    simulating the moment its partial history is irrecoverably broken —
+    while the violation-expecting cells keep full-horizon runs, whose
+    exact reasons the shrink/corpus pipeline fingerprints.
     """
+    early_exit = not cell.expect_violation
     if cell.engine == "systematic":
         report = explore(
             cell.scenario,
@@ -370,6 +379,7 @@ def _run_cell(cell: CampaignCell) -> CellOutcome:
             # fork branch executor would only oversubscribe the cores,
             # so cells always use the replay engine.
             prefix_sharing="replay",
+            early_exit=early_exit,
         )
         return CellOutcome(
             cell=cell,
@@ -386,6 +396,7 @@ def _run_cell(cell: CampaignCell) -> CellOutcome:
         shards=1,
         seed0=cell.seed0,
         stop_on_violation=cell.expect_violation,
+        early_exit=early_exit,
     )
     return CellOutcome(
         cell=cell,
@@ -470,6 +481,35 @@ def run_campaign(
     return report
 
 
+def _canonicalize(scenario: Scenario, violation: Violation) -> Violation:
+    """Re-derive a violation's reason from a full-horizon replay.
+
+    Violations found by early-exit runs carry the *truncated* history's
+    reason; the shrinker and the corpus replay at full horizon, where
+    the same trace can accumulate further violating pairs and change
+    the class fingerprint. One replay per class re-anchors the reason
+    to what every later replay will see. Full-horizon finds replay to
+    themselves (the determinism the corpus suite pins), so this is a
+    no-op for them; an unreplayable violation is returned unchanged and
+    left for :func:`repro.explore.shrink.shrink` to report.
+    """
+    from repro.explore.explorer import execute_trace
+
+    try:
+        record = execute_trace(scenario, violation.trace)
+    except SchedulerError:
+        return violation
+    if record.violation is None:
+        return violation
+    return Violation(
+        scenario=violation.scenario,
+        reason=record.violation.reason,
+        trace=violation.trace,
+        schedule=violation.schedule,
+        seed=violation.seed,
+    )
+
+
 def _shrink_and_persist(
     report: CampaignReport,
     emit: Callable[[str], None],
@@ -483,13 +523,39 @@ def _shrink_and_persist(
     Classes are deduplicated across cells (the theorem29 race found by
     both engines shrinks once). Expected and *unexpected* violations
     are both shrunk — an unexpected one is exactly the counterexample
-    worth a corpus entry and a bisection session.
+    worth a corpus entry and a bisection session; since unexpected ones
+    come from early-exit cells, they are canonicalized to their
+    full-horizon reason first (see :func:`_canonicalize`).
     """
-    representatives: Dict[Tuple[str, str], Tuple[Scenario, Violation]] = {}
+    # Two-stage dedup. Stage 1 groups by the fingerprint the finder
+    # reported. Stage 2: clean-expecting cells run with early exit
+    # armed, so their (unexpected) violations carry truncated-history
+    # reasons — canonicalize one representative per truncated class to
+    # its full-horizon reason (one replay per class, not per violating
+    # run) and re-key, so one defect found through several truncations
+    # still shrinks once. Violation-expecting cells ran full-horizon —
+    # their finds already are canonical, no replay needed.
+    truncated: Dict[Tuple[str, str], Tuple[Scenario, Violation, bool]] = {}
     for outcome in report.outcomes:
+        early_exit_cell = not outcome.cell.expect_violation
         for violation in outcome.violations:
             key = (outcome.cell.scenario.label(), violation.fingerprint())
-            representatives.setdefault(key, (outcome.cell.scenario, violation))
+            truncated.setdefault(
+                key, (outcome.cell.scenario, violation, early_exit_cell)
+            )
+    representatives: Dict[Tuple[str, str], Tuple[Scenario, Violation]] = {}
+    for (label, _), (scenario, violation, early_exit_cell) in truncated.items():
+        if early_exit_cell:
+            canonical = _canonicalize(scenario, violation)
+            if canonical.fingerprint() != violation.fingerprint():
+                emit(
+                    f"canonicalized early-exit violation to "
+                    f"full-horizon class {canonical.fingerprint()}"
+                )
+            violation = canonical
+        representatives.setdefault(
+            (label, violation.fingerprint()), (scenario, violation)
+        )
     report.shrink_deferred = [
         violation.fingerprint()
         for _scenario, violation in list(representatives.values())[

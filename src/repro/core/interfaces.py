@@ -121,19 +121,33 @@ class AlgorithmBase:
         self.n = system.n
         self.initial = freeze(initial)
         self._installed = False
+        self._pids_cache: Optional[Tuple[int, ...]] = None
+        self._readers_cache: Optional[Tuple[int, ...]] = None
 
     # ------------------------------------------------------------------
     # Topology helpers
     # ------------------------------------------------------------------
     @property
-    def pids(self) -> List[int]:
-        """All process ids participating in this register instance."""
-        return list(self.system.pids)
+    def pids(self) -> Tuple[int, ...]:
+        """All process ids participating in this register instance.
+
+        Cached: the topology is fixed at construction, and the helper
+        daemons iterate this on every poll loop.
+        """
+        cached = self._pids_cache
+        if cached is None:
+            cached = self._pids_cache = tuple(self.system.pids)
+        return cached
 
     @property
-    def readers(self) -> List[int]:
-        """The reader pids (everyone but the writer)."""
-        return [pid for pid in self.system.pids if pid != self.writer]
+    def readers(self) -> Tuple[int, ...]:
+        """The reader pids (everyone but the writer); cached like pids."""
+        cached = self._readers_cache
+        if cached is None:
+            cached = self._readers_cache = tuple(
+                pid for pid in self.system.pids if pid != self.writer
+            )
+        return cached
 
     def quorum_accept(self) -> int:
         """``n - f`` — the acceptance threshold used throughout."""

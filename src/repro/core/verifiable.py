@@ -46,7 +46,7 @@ from repro.core.interfaces import (
     as_int,
     as_reply_pair,
 )
-from repro.sim.effects import Pause, ReadRegister, WriteRegister
+from repro.sim.effects import PAUSE, Pause, ReadRegister, WriteRegister
 from repro.sim.process import Program
 from repro.sim.registers import RegisterSpec, swmr, swsr
 from repro.sim.values import freeze
@@ -87,6 +87,30 @@ class VerifiableRegister(AlgorithmBase):
         self._r1_shadow: Set[Any] = set()
         #: E11 ablation switch; True is the paper's algorithm.
         self.reset_set0 = reset_set0
+        # Hot-path caches: the poll loops below yield reads of the same
+        # registers thousands of times per run; effects are frozen
+        # values, so one instance per register serves every yield, and
+        # the f-string register names are built once instead of per
+        # loop iteration.
+        self._read_star = ReadRegister(self.reg_star())
+        self._read_counter = {
+            k: ReadRegister(self.reg_counter(k)) for k in self.readers
+        }
+        self._read_witness = {
+            i: ReadRegister(self.reg_witness(i)) for i in self.pids
+        }
+        self._read_reply = {
+            (j, k): ReadRegister(self.reg_reply(j, k))
+            for j in self.pids
+            for k in self.readers
+        }
+        self._counter_names = {k: self.reg_counter(k) for k in self.readers}
+        self._witness_names = {i: self.reg_witness(i) for i in self.pids}
+        self._reply_names = {
+            (j, k): self.reg_reply(j, k)
+            for j in self.pids
+            for k in self.readers
+        }
 
     # ------------------------------------------------------------------
     # Register naming
@@ -167,21 +191,25 @@ class VerifiableRegister(AlgorithmBase):
         v = freeze(v)
         set0: Set[int] = set()
         set1: Set[int] = set()
+        read_counter = self._read_counter[pid]
+        counter_name = self._counter_names[pid]
+        read_reply = self._read_reply
+        pids = self.pids
         while True:  # line 12
-            counter = as_int((yield ReadRegister(self.reg_counter(pid))))
+            counter = as_int((yield read_counter))
             ck = counter + 1
-            yield WriteRegister(self.reg_counter(pid), ck)  # line 13
+            yield WriteRegister(counter_name, ck)  # line 13
             # Lines 14-17: repeat reading R_jk of every j not in
             # set1 U set0 until one reply carries c_j >= C_k.
             chosen_j: Optional[int] = None
             chosen_reply: frozenset = frozenset()
             while chosen_j is None:
                 progressed = False
-                for j in self.pids:
+                for j in pids:
                     if j in set0 or j in set1:
                         continue
                     progressed = True
-                    raw = yield ReadRegister(self.reg_reply(j, pid))  # line 16
+                    raw = yield read_reply[(j, pid)]  # line 16
                     payload, cj = as_reply_pair(raw)
                     if cj is not None and cj >= ck:  # line 17
                         chosen_j = j
@@ -217,20 +245,25 @@ class VerifiableRegister(AlgorithmBase):
         correct process witnessed it), and then publishes its witness set
         to every current asker.
         """
-        prev_ck: Dict[int, int] = {k: 0 for k in self.readers}  # line 25
+        readers = self.readers
+        pids = self.pids
+        read_counter = self._read_counter
+        read_witness = self._read_witness
+        reply_names = self._reply_names
+        own_witness_read = read_witness[pid]
+        own_witness_name = self._witness_names[pid]
+        prev_ck: Dict[int, int] = {k: 0 for k in readers}  # line 25
         while True:  # line 26
             cks: Dict[int, int] = {}
-            for k in self.readers:  # line 27
-                cks[k] = as_int((yield ReadRegister(self.reg_counter(k))))
-            askers = [k for k in self.readers if cks[k] > prev_ck[k]]  # line 28
+            for k in readers:  # line 27
+                cks[k] = as_int((yield read_counter[k]))
+            askers = [k for k in readers if cks[k] > prev_ck[k]]  # line 28
             if not askers:  # line 29
-                yield Pause()
+                yield PAUSE
                 continue
             witness_sets: Dict[int, frozenset] = {}
-            for i in self.pids:  # line 30
-                witness_sets[i] = as_frozenset(
-                    (yield ReadRegister(self.reg_witness(i)))
-                )
+            for i in pids:  # line 30
+                witness_sets[i] = as_frozenset((yield read_witness[i]))
             signed_by_writer = witness_sets[self.writer]
             candidates: Set[Any] = set()
             for witnessed in witness_sets.values():
@@ -240,10 +273,10 @@ class VerifiableRegister(AlgorithmBase):
                 for v in candidates
                 # line 31: v in r1 or witnessed by >= f+1 processes
                 if v in signed_by_writer
-                or sum(1 for i in self.pids if v in witness_sets[i])
+                or sum(1 for i in pids if v in witness_sets[i])
                 >= self.f + 1
             }
-            own_now = as_frozenset((yield ReadRegister(self.reg_witness(pid))))
+            own_now = as_frozenset((yield own_witness_read))
             if pid == self.writer:
                 # R1's other writer is Sign on the same process; merge
                 # through the shared shadow so a concurrently signed
@@ -252,10 +285,10 @@ class VerifiableRegister(AlgorithmBase):
                 merged = own_now | frozenset(self._r1_shadow)
             else:
                 merged = own_now | adopted
-            yield WriteRegister(self.reg_witness(pid), merged)  # line 32
-            own_published = yield ReadRegister(self.reg_witness(pid))  # line 33
+            yield WriteRegister(own_witness_name, merged)  # line 32
+            own_published = yield own_witness_read  # line 33
             for k in askers:  # line 34
                 yield WriteRegister(
-                    self.reg_reply(pid, k), (own_published, cks[k])
+                    reply_names[(pid, k)], (own_published, cks[k])
                 )  # line 35
                 prev_ck[k] = cks[k]  # line 36

@@ -48,6 +48,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 from repro.errors import SchedulerError, StepLimitExceeded
 from repro.sim.effects import Pause, ReadRegister, WriteRegister
 from repro.sim.scheduler import CoroutineId, RoundRobinScheduler, TraceScheduler
+from repro.spec.context import CheckContext
 from repro.explore.forkexec import MISS, SKIPPED, BranchExecutor, fork_available
 from repro.explore.scenarios import Scenario, Violation
 
@@ -199,6 +200,8 @@ def execute_trace(
     depth_bound: int = 0,
     fingerprints: bool = False,
     schedule_label: str = "",
+    ctx: Optional[CheckContext] = None,
+    early_exit: bool = False,
 ) -> RunRecord:
     """Replay ``prefix`` against a fresh build of ``scenario``.
 
@@ -206,9 +209,12 @@ def execute_trace(
     ``depth_bound`` steps additionally record runnable sets, effect
     signatures and (optionally) state fingerprints for the search loop.
     Raises :class:`SchedulerError` when the prefix is not realizable.
+    ``ctx`` shares oracle caches across replays; ``early_exit`` arms the
+    scenario's incremental violation monitor.
     """
     return InstrumentedRun(
-        scenario, prefix, depth_bound, fingerprints, schedule_label
+        scenario, prefix, depth_bound, fingerprints, schedule_label,
+        ctx=ctx, early_exit=early_exit,
     ).finish()
 
 
@@ -243,6 +249,8 @@ class InstrumentedRun:
         depth_bound: int = 0,
         fingerprints: bool = False,
         schedule_label: str = "",
+        ctx: Optional[CheckContext] = None,
+        early_exit: bool = False,
     ):
         self.scenario = scenario
         self.depth_bound = depth_bound
@@ -251,7 +259,9 @@ class InstrumentedRun:
         self.scheduler = TraceScheduler(
             prefix=prefix, fallback=RoundRobinScheduler(), horizon=depth_bound
         )
-        self.built = scenario.build(self.scheduler)
+        self.built = scenario.build(
+            self.scheduler, ctx=ctx, early_exit=early_exit
+        )
         self.system = self.built.system
         self.signatures: List[EffectSignature] = []
         self.chosen: List[CoroutineId] = []
@@ -416,10 +426,15 @@ def _resolve_prefix_sharing(prefix_sharing: str) -> bool:
         return True
     if prefix_sharing == "replay":
         return False
-    # auto: fork pays off when forked siblings can overlap on spare
-    # cores; on a single hardware thread the fork + pickle tax exceeds
-    # the shared-prefix savings, so stay with plain re-execution.
-    return fork_available() and (os.cpu_count() or 1) >= 2
+    # auto: fork pays off only when forked siblings can overlap on
+    # spare cores AND the per-sibling fork + pickle + pipe tax is
+    # amortized. Measured on the shipped Theorem 29 workloads (depth
+    # bound 14, 1-core host, 2026-07): replay ~1.2ms/run, fork
+    # ~4.4ms/run — a ~3.2ms fixed fork tax against ~8 shared prefix
+    # steps per run, so fork needs roughly (tax / run cost) + 1 ≈ 4
+    # hardware threads of sibling overlap before it can break even.
+    # The old >= 2 threshold predated the faster replay path.
+    return fork_available() and (os.cpu_count() or 1) >= 4
 
 
 def explore(
@@ -432,6 +447,8 @@ def explore(
     sleep_sets: bool = True,
     stop_on_violation: bool = False,
     prefix_sharing: str = "auto",
+    ctx: Optional[CheckContext] = None,
+    early_exit: bool = False,
 ) -> ExploreReport:
     """Systematically search bounded schedules of ``scenario``.
 
@@ -446,9 +463,19 @@ def explore(
     engines produce identical reports; ``report.engine`` records the
     choice and ``replayed_steps`` / ``shared_steps`` quantify the
     prefix work saved.
+
+    A :class:`CheckContext` (one is created when ``ctx`` is None) shares
+    the oracle layer's memo tables across every run of the exploration:
+    sibling schedules that commute into the same history pay for one
+    verdict. ``early_exit`` stops each run as soon as its partial
+    history is irrecoverably violating; violating runs then report the
+    truncated history's violation, so keep it off when the exact
+    horizon-history reason matters (the corpus pipeline does).
     """
     if mode not in ("dfs", "bfs"):
         raise ValueError(f"mode must be 'dfs' or 'bfs', got {mode!r}")
+    if ctx is None:
+        ctx = CheckContext()
     use_fork = _resolve_prefix_sharing(prefix_sharing)
     report = ExploreReport(
         scenario=scenario.label(),
@@ -465,7 +492,8 @@ def explore(
     label = f"explore({mode})"
     executor = (
         BranchExecutor(
-            scenario, depth_bound, schedule_label=label, fingerprints=memoize
+            scenario, depth_bound, schedule_label=label, fingerprints=memoize,
+            ctx=ctx, early_exit=early_exit,
         )
         if use_fork
         else None
@@ -492,6 +520,8 @@ def explore(
                             depth_bound=depth_bound,
                             fingerprints=memoize,
                             schedule_label=label,
+                            ctx=ctx,
+                            early_exit=early_exit,
                         )
                         report.replayed_steps += len(prefix)
                     except SchedulerError:
@@ -515,8 +545,13 @@ def explore(
 
                 # Fingerprint memoization: skip expanding a node whose
                 # state was already expanded at the same or a shallower
-                # depth.
-                if memoize and prefix:
+                # depth. An early-exited run aborts mid-step — the
+                # scheduler has recorded that step's decision, but the
+                # on_step observations (effects/chosen/fingerprints)
+                # stop one entry short — so a record doomed at its own
+                # deviated step may lack that fingerprint; skip the
+                # memo (less pruning, never wrong).
+                if memoize and prefix and len(record.fingerprints) >= len(prefix):
                     node_state = record.fingerprints[len(prefix) - 1]
                     known_depth = seen_states.get(node_state)
                     if known_depth is not None and known_depth <= len(prefix):
@@ -529,8 +564,16 @@ def explore(
                     report.unique_states = len(seen_states)
 
                 # Expand: deviate from this run at every depth past the
-                # forced prefix, up to the bounds.
-                horizon = min(depth_bound, len(record.trace), len(record.runnables))
+                # forced prefix, up to the bounds. ``effects`` (same
+                # length as ``chosen``) can be one entry shorter than
+                # ``trace``/``runnables`` on an early-exited run — see
+                # the memoization note above.
+                horizon = min(
+                    depth_bound,
+                    len(record.trace),
+                    len(record.runnables),
+                    len(record.effects),
+                )
                 for depth in range(len(prefix), horizon):
                     runnable = record.runnables[depth]
                     chosen_index = record.trace[depth]

@@ -83,11 +83,19 @@ class BranchExecutor:
         depth_bound: int,
         schedule_label: str = "",
         fingerprints: bool = True,
+        ctx=None,
+        early_exit: bool = False,
     ):
         self._scenario = scenario
         self._depth_bound = depth_bound
         self._schedule_label = schedule_label
         self._fingerprints = fingerprints
+        #: Oracle caches / early-exit flag forwarded to every run. The
+        #: ctx lives in the parent; forked children mutate a copy-on-write
+        #: snapshot that dies with them (correctness is unaffected, only
+        #: the hit rate is lower than on the replay engine).
+        self._ctx = ctx
+        self._early_exit = early_exit
         #: parent trace -> sibling indices, registered but not launched.
         self._groups: Dict[Prefix, List[int]] = {}
         #: child prefix -> owning parent trace.
@@ -137,6 +145,8 @@ class BranchExecutor:
                 self._depth_bound,
                 fingerprints=self._fingerprints,
                 schedule_label=self._schedule_label,
+                ctx=self._ctx,
+                early_exit=self._early_exit,
             )
             realizable = run.run_prefix_steps(len(parent_trace))
         except SchedulerError:

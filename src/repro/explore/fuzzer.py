@@ -68,11 +68,14 @@ class SwarmScheduler(PriorityScheduler):
         super().__init__({}, seed=seed, fairness_bound=fairness_bound)
         self._seed = seed
 
-    def select(self, runnable: Sequence[CoroutineId], clock: int) -> CoroutineId:
+    def _on_new_runnable(self, runnable: Sequence[CoroutineId]) -> None:
+        # A coroutine appears for the first time only when the runnable
+        # tuple itself is new, so drawing on the epoch hook consumes the
+        # rng in exactly the per-select order the original loop did.
+        weights = self._weights
         for cid in runnable:
-            if cid not in self._weights:
-                self._weights[cid] = self._rng.choice(SWARM_WEIGHTS)
-        return super().select(runnable, clock)
+            if cid not in weights:
+                weights[cid] = self._rng.choice(SWARM_WEIGHTS)
 
     def describe(self) -> str:
         return f"SwarmScheduler(seed={self._seed}, bound={self._bound})"
@@ -137,41 +140,58 @@ class FuzzReport:
         )
 
 
-def run_one_fuzz(scenario: Scenario, seed: int) -> Tuple[Optional[Violation], int, bool]:
+def run_one_fuzz(
+    scenario: Scenario,
+    seed: int,
+    ctx=None,
+    early_exit: bool = False,
+) -> Tuple[Optional[Violation], int, bool]:
     """Execute one fuzzing run; returns (violation, steps, completed).
 
-    ``horizon=0``: the fuzzer only needs the index trace (for replay
-    and shrinking), not the per-step runnable sets the systematic
-    explorer records.
+    The first execution runs under the bare seeded scheduler — no
+    record/replay wrapper, which is pure per-step overhead on the clean
+    runs that dominate every campaign. A run is perfectly reproducible
+    from its seed, so when (and only when) the run violates, it is
+    re-executed once under a :class:`TraceScheduler` (``horizon=0``: the
+    fuzzer only needs the index trace for replay and shrinking, not the
+    per-step runnable sets the systematic explorer records) to capture
+    the replayable decision trace.
     """
-    scheduler = TraceScheduler(prefix=(), fallback=fuzz_scheduler(seed), horizon=0)
-    built = scenario.build(scheduler)
+    scheduler = fuzz_scheduler(seed)
+    built = scenario.build(scheduler, ctx=ctx, early_exit=early_exit)
     try:
         try:
             built.drive()
         except StepLimitExceeded:
-            return None, len(scheduler.trace), False
+            return None, built.system.clock, False
         reason = built.check()
+        steps = built.system.clock
     finally:
         # Reclaimable by reference counting while the shard loop holds
         # the cyclic collector paused.
         built.system.release_coroutines()
-    violation = (
-        Violation(
-            scenario=scenario.label(),
-            reason=reason,
-            trace=tuple(scheduler.trace),
-            schedule=scheduler._fallback.describe(),
-            seed=seed,
-        )
-        if reason
-        else None
+    if reason is None:
+        return None, steps, True
+    tracer = TraceScheduler(
+        prefix=(), fallback=fuzz_scheduler(seed), horizon=0
     )
-    return violation, len(scheduler.trace), True
+    replay = scenario.build(tracer, ctx=ctx, early_exit=early_exit)
+    try:
+        replay.drive()
+    finally:
+        replay.system.release_coroutines()
+    violation = Violation(
+        scenario=scenario.label(),
+        reason=reason,
+        trace=tuple(tracer.trace),
+        schedule=scheduler.describe(),
+        seed=seed,
+    )
+    return violation, steps, True
 
 
 def _run_shard(
-    payload: Tuple[int, List[Tuple[Scenario, int]]],
+    payload: Tuple[int, List[Tuple[Scenario, int]], bool],
     stop_on_violation: bool = False,
 ) -> ShardResult:
     """Worker entry point: run every (scenario, seed) job of one shard.
@@ -179,9 +199,14 @@ def _run_shard(
     Also used inline for single-shard campaigns, where
     ``stop_on_violation`` may short-circuit after the first hit
     (``Pool.map`` always calls with the default, so sharded campaigns
-    drain their jobs).
+    drain their jobs). Each shard owns one :class:`CheckContext`, so the
+    oracle layer's memo tables persist across every run of the shard —
+    contexts never cross process boundaries.
     """
-    shard, jobs = payload
+    shard, jobs, early_exit = payload
+    from repro.spec.context import CheckContext
+
+    ctx = CheckContext()
     result = ShardResult(shard=shard)
     started = time.perf_counter()
     # Same rationale as repro.explore.explorer.paused_gc: a fuzzing
@@ -192,7 +217,9 @@ def _run_shard(
     with paused_gc():
         for scenario, seed in jobs:
             try:
-                violation, steps, completed = run_one_fuzz(scenario, seed)
+                violation, steps, completed = run_one_fuzz(
+                    scenario, seed, ctx=ctx, early_exit=early_exit
+                )
             except SchedulerError:
                 continue
             result.runs += 1
@@ -233,6 +260,7 @@ def fuzz(
     shards: Optional[int] = None,
     seed0: int = 0,
     stop_on_violation: bool = False,
+    early_exit: bool = False,
 ) -> FuzzReport:
     """Run a swarm campaign of ``budget`` seeded runs over ``scenarios``.
 
@@ -242,6 +270,11 @@ def fuzz(
     campaign's findings do not depend on the sharding; only throughput
     does. ``stop_on_violation`` short-circuits inline campaigns after
     the first violating run (sharded campaigns always drain their jobs).
+
+    ``early_exit`` stops each run as soon as its partial history is
+    irrecoverably violating; a violating run then reports the truncated
+    history's violation, so keep it off when the exact horizon-history
+    reason matters (the shrink/corpus pipeline does).
     """
     if isinstance(scenarios, Scenario):
         scenarios = [scenarios]
@@ -255,7 +288,8 @@ def fuzz(
         (scenarios[i % len(scenarios)], seed0 + i) for i in range(budget)
     ]
     payloads = [
-        (shard, jobs[shard::shard_count]) for shard in range(shard_count)
+        (shard, jobs[shard::shard_count], early_exit)
+        for shard in range(shard_count)
     ]
 
     started = time.perf_counter()

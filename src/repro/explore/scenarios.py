@@ -38,7 +38,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.adversary.theorem29 import Roles
 from repro.analysis.workloads import prepare_register_scenario
 from repro.core.test_or_set import SET_FLAG, QuorumTestOrSet
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, EarlyExitInterrupt
 from repro.sim import (
     FunctionClient,
     OpCall,
@@ -49,7 +49,8 @@ from repro.sim import (
 from repro.sim.effects import PAUSE
 from repro.sim.scheduler import Scheduler
 from repro.spec.byzantine import check_test_or_set
-from repro.spec.properties import check_test_or_set_properties
+from repro.spec.context import CheckContext
+from repro.spec.properties import EarlyPropertyMonitor, check_test_or_set_properties
 
 
 @dataclass(frozen=True)
@@ -103,15 +104,29 @@ class Scenario:
     name: str
     params: Tuple[Tuple[str, Any], ...] = ()
 
-    def build(self, scheduler: Scheduler) -> BuiltScenario:
-        """Construct a fresh run of this scenario under ``scheduler``."""
+    def build(
+        self,
+        scheduler: Scheduler,
+        ctx: Optional[CheckContext] = None,
+        early_exit: bool = False,
+    ) -> BuiltScenario:
+        """Construct a fresh run of this scenario under ``scheduler``.
+
+        ``ctx`` shares the oracle layer's memo caches across runs;
+        ``early_exit`` arms the incremental property monitor so the run
+        stops as soon as its partial history is irrecoverably violating
+        (verdict-preserving: the final check on the truncated history
+        reports the violation).
+        """
         builder = SCENARIO_BUILDERS.get(self.name)
         if builder is None:
             raise ConfigurationError(
                 f"unknown scenario {self.name!r}; "
                 f"known: {', '.join(sorted(SCENARIO_BUILDERS))}"
             )
-        return builder(scheduler, **dict(self.params))
+        return builder(
+            scheduler, ctx=ctx, early_exit=early_exit, **dict(self.params)
+        )
 
     def label(self) -> str:
         """Human-readable spec rendering for tables and reports."""
@@ -141,6 +156,8 @@ def _build_theorem29(
     patience: int = 24,
     linger: int = 2,
     max_steps: int = 60_000,
+    ctx: Optional[CheckContext] = None,
+    early_exit: bool = False,
 ) -> BuiltScenario:
     """The Figure 1 cast with a free-running Byzantine group.
 
@@ -248,19 +265,36 @@ def _build_theorem29(
     pb_wrapper = FunctionClient(pb_program)
     system.spawn(roles.pb, "client", pb_wrapper.program())
 
-    def drive() -> None:
-        system.run_until(
-            lambda: pb_wrapper.done, max_steps, label="Test' by pb"
+    if early_exit:
+        monitor = EarlyPropertyMonitor(
+            system.history, "test_or_set", correct, "tos",
+            writer=roles.setter, interrupt=True,
         )
+        system.history.on_complete = monitor.on_complete
+
+        def drive() -> None:
+            try:
+                system.run_until(
+                    lambda: pb_wrapper.done, max_steps, label="Test' by pb"
+                )
+            except EarlyExitInterrupt:
+                pass  # check() reports the violation on the truncated run
+
+    else:
+
+        def drive() -> None:
+            system.run_until(
+                lambda: pb_wrapper.done, max_steps, label="Test' by pb"
+            )
 
     def check() -> Optional[str]:
         report = check_test_or_set_properties(
-            system.history, correct, "tos", setter=roles.setter
+            system.history, correct, "tos", setter=roles.setter, ctx=ctx
         )
         if not report.ok:
             return "; ".join(report.violations)
         verdict = check_test_or_set(
-            system.history, correct, "tos", setter=roles.setter
+            system.history, correct, "tos", setter=roles.setter, ctx=ctx
         )
         if not verdict.ok:
             return f"Byzantine linearizability: {verdict.reason}"
@@ -280,6 +314,8 @@ def _build_register(
     writer_adversary: str = "none",
     reader_adversaries: Tuple[Tuple[int, str], ...] = (),
     max_steps: int = 2_000_000,
+    ctx: Optional[CheckContext] = None,
+    early_exit: bool = False,
 ) -> BuiltScenario:
     """A seeded register workload under an exploration scheduler.
 
@@ -295,6 +331,8 @@ def _build_register(
         writer_adversary=writer_adversary,
         reader_adversaries=dict(reader_adversaries),
         scheduler=scheduler,
+        ctx=ctx,
+        early_exit=early_exit,
     )
     outcome_box: List[Any] = []
 

@@ -34,6 +34,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import SchedulerError
 from repro.sim.scheduler import CoroutineId
+from repro.spec.context import CheckContext
 from repro.explore.explorer import execute_trace
 from repro.explore.scenarios import Scenario, Violation
 
@@ -89,11 +90,16 @@ class ShrunkViolation:
 
 
 def _reproduces(
-    scenario: Scenario, prefix: Sequence[int], fingerprint: str
+    scenario: Scenario,
+    prefix: Sequence[int],
+    fingerprint: str,
+    ctx: Optional[CheckContext] = None,
 ) -> Optional[Violation]:
     """Replay ``prefix``; return its violation if it matches the class."""
     try:
-        record = execute_trace(scenario, prefix, schedule_label="shrink")
+        record = execute_trace(
+            scenario, prefix, schedule_label="shrink", ctx=ctx
+        )
     except SchedulerError:
         return None
     violation = record.violation
@@ -106,20 +112,26 @@ def shrink(
     scenario: Scenario,
     violation: Violation,
     max_replays: int = 600,
+    ctx: Optional[CheckContext] = None,
 ) -> ShrunkViolation:
     """Minimize ``violation``'s trace; see the module docstring.
 
     Raises :class:`ValueError` when the original trace does not
     reproduce its violation (a non-deterministic scenario, or a spec
-    mismatch between finder and shrinker).
+    mismatch between finder and shrinker). The hundreds of replays of
+    one shrink share a :class:`CheckContext` (created here when not
+    given): candidate prefixes that converge to the same history pay
+    for one verdict.
     """
     fingerprint = violation.fingerprint()
     replays = 0
+    if ctx is None:
+        ctx = CheckContext()
 
     def attempt(prefix: Sequence[int]) -> Optional[Violation]:
         nonlocal replays
         replays += 1
-        return _reproduces(scenario, prefix, fingerprint)
+        return _reproduces(scenario, prefix, fingerprint, ctx=ctx)
 
     current = list(violation.trace)
     if attempt(current) is None:
@@ -179,7 +191,7 @@ def shrink(
     final = attempt(current)
     if final is None:  # pragma: no cover - attempt() above already passed
         raise ValueError("shrinking lost the violation; this is a bug")
-    record = execute_trace(scenario, current, schedule_label="shrunk")
+    record = execute_trace(scenario, current, schedule_label="shrunk", ctx=ctx)
     return ShrunkViolation(
         original=violation,
         trace=tuple(current),

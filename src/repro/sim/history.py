@@ -110,12 +110,24 @@ class History:
         #: excluded); an observable change counter for tests and
         #: tooling that cache derived views of the history.
         self.version = 0
+        #: Optional observer invoked with each record the moment it
+        #: completes (gains its response). This is the feed of the
+        #: incremental checkers (``repro.spec``): early-exit modes
+        #: consume operations as they complete instead of re-scanning
+        #: the history. One None-check per response event when unused.
+        self.on_complete: Optional[Callable[[OperationRecord], None]] = None
         self._fp_fold = 0
         #: Set by the bulk builders (restrict / with_synthetic): the
         #: fold is recomputed lazily on first demand, so derived
         #: histories built on the checker hot path pay nothing unless
         #: somebody actually fingerprints them.
         self._fp_stale = False
+        #: Eager two-XOR maintenance only starts once someone has asked
+        #: for the fold (the explorer does, every step; fuzzing and
+        #: campaign runs never do) — until then record events skip the
+        #: per-event blake2b digests entirely and just mark the fold
+        #: stale.
+        self._fp_eager = False
 
     @staticmethod
     def _fp_digest(record: OperationRecord) -> int:
@@ -150,7 +162,10 @@ class History:
         self._records[op_id] = record
         self._order.append(op_id)
         self.version += 1
-        self._fp_fold ^= self._fp_digest(record)
+        if self._fp_eager:
+            self._fp_fold ^= self._fp_digest(record)
+        else:
+            self._fp_stale = True
         return op_id
 
     def record_response(self, op_id: int, result: Any, time: int) -> None:
@@ -163,7 +178,12 @@ class History:
         completed = record.completed(time, result)
         self._records[op_id] = completed
         self.version += 1
-        self._fp_fold ^= self._fp_digest(record) ^ self._fp_digest(completed)
+        if self._fp_eager:
+            self._fp_fold ^= self._fp_digest(record) ^ self._fp_digest(completed)
+        else:
+            self._fp_stale = True
+        if self.on_complete is not None:
+            self.on_complete(completed)
 
     def record_annotation(self, annotation: Annotation) -> None:
         """Append a trace waypoint."""
@@ -182,6 +202,7 @@ class History:
             for record in self._records.values():
                 fold ^= self._fp_digest(record)
             return fold
+        self._fp_eager = True
         if self._fp_stale:
             self._fp_fold = self.fingerprint_fold(full=True)
             self._fp_stale = False
@@ -225,6 +246,15 @@ class History:
     def all(self) -> List[OperationRecord]:
         """Every record in invocation order."""
         return [self._records[i] for i in self._order]
+
+    def records_from(self, position: int) -> List[OperationRecord]:
+        """Records from invocation-order ``position`` onward.
+
+        The order is append-only, so incremental consumers (the
+        early-exit monitors' invocation index) can keep a cursor and
+        pay O(new records) per refresh instead of rescanning.
+        """
+        return [self._records[i] for i in self._order[position:]]
 
     def __len__(self) -> int:
         return len(self._order)

@@ -32,6 +32,8 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
+from bisect import bisect
+from itertools import accumulate
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import SchedulerError
@@ -112,7 +114,48 @@ class RoundRobinScheduler(Scheduler):
         return index
 
 
-class RandomScheduler(Scheduler):
+class _FairScheduler(Scheduler):
+    """Epoch-cached starvation bookkeeping shared by the fuzz schedulers.
+
+    The kernel hands schedulers one cached immutable runnable tuple
+    until membership changes; while that object is stable, the per-step
+    fairness question — "is anyone starving, and who longest?" — reduces
+    to one compare against a maintained argmin of last-ran times. The
+    O(n) rescan happens only when the runnable tuple changes or the
+    argmin itself was scheduled. Selection semantics are bit-identical
+    to the original per-step scan: the starving choice is the first
+    runnable-order coroutine with the minimal last-ran time
+    (``vals.index(min(vals))`` — first minimal position, at C speed).
+
+    Subclasses inline this state directly in their ``select_index``
+    hot paths; the base only provides construction and the epoch
+    rebuild.
+    """
+
+    def __init__(self, bound: int) -> None:
+        if bound < 1:
+            raise SchedulerError("fairness_bound must be >= 1")
+        self._bound = bound
+        self._last_ran: Dict[CoroutineId, int] = {}
+        self._fepoch: Optional[Sequence[CoroutineId]] = None
+        self._fvals: List[int] = []
+        self._fargmin = 0
+
+    def _rebuild_fairness(self, runnable: Sequence[CoroutineId]) -> None:
+        get = self._last_ran.get
+        vals = [get(cid, 0) for cid in runnable]
+        self._fvals = vals
+        self._fargmin = vals.index(min(vals))
+        self._fepoch = runnable if type(runnable) is tuple else None
+
+    def select(self, runnable: Sequence[CoroutineId], clock: int) -> CoroutineId:
+        return runnable[self.select_index(runnable, clock)]
+
+    def select_index(self, runnable: Sequence[CoroutineId], clock: int) -> int:
+        raise NotImplementedError
+
+
+class RandomScheduler(_FairScheduler):
     """Seeded random scheduling with a hard starvation bound.
 
     Pure random choice is fair only with probability 1; a bounded run
@@ -124,25 +167,32 @@ class RandomScheduler(Scheduler):
     """
 
     def __init__(self, seed: int = 0, fairness_bound: int = 512):
-        if fairness_bound < 1:
-            raise SchedulerError("fairness_bound must be >= 1")
+        super().__init__(fairness_bound)
         self._rng = random.Random(seed)
-        self._bound = fairness_bound
-        self._last_ran: Dict[CoroutineId, int] = {}
+        self._randbelow = self._rng._randbelow
         self._seed = seed
 
-    def select(self, runnable: Sequence[CoroutineId], clock: int) -> CoroutineId:
-        starving = [
-            cid
-            for cid in runnable
-            if clock - self._last_ran.get(cid, 0) >= self._bound
-        ]
-        if starving:
-            choice = min(starving, key=lambda cid: self._last_ran.get(cid, 0))
+    def select_index(self, runnable: Sequence[CoroutineId], clock: int) -> int:
+        """Index-direct selection (see RoundRobinScheduler.select_index).
+
+        Draw-for-draw identical to ``rng.choice(list(runnable))`` with a
+        per-step starving scan: ``_randbelow`` is exactly the draw
+        ``choice`` makes, and the maintained argmin is the same
+        first-minimal starving coroutine the scan-and-``min`` found.
+        """
+        if runnable is not self._fepoch:
+            self._rebuild_fairness(runnable)
+        vals = self._fvals
+        argmin = self._fargmin
+        if clock - vals[argmin] >= self._bound:
+            index = argmin
         else:
-            choice = self._rng.choice(list(runnable))
-        self._last_ran[choice] = clock
-        return choice
+            index = self._randbelow(len(runnable))
+        vals[index] = clock
+        self._last_ran[runnable[index]] = clock
+        if index == argmin:
+            self._fargmin = vals.index(min(vals))
+        return index
 
     def describe(self) -> str:
         return f"RandomScheduler(seed={self._seed}, bound={self._bound})"
@@ -198,7 +248,7 @@ class ScriptedScheduler(Scheduler):
         return self._exhausted
 
 
-class PriorityScheduler(Scheduler):
+class PriorityScheduler(_FairScheduler):
     """Weighted random choice, for biased (but still fair) interleavings.
 
     ``weights`` maps coroutine ids to positive weights; unlisted
@@ -217,24 +267,51 @@ class PriorityScheduler(Scheduler):
         for cid, w in weights.items():
             if w <= 0:
                 raise SchedulerError(f"weight for {cid!r} must be positive, got {w}")
+        super().__init__(fairness_bound)
         self._weights = dict(weights)
         self._rng = random.Random(seed)
-        self._bound = fairness_bound
-        self._last_ran: Dict[CoroutineId, int] = {}
+        self._random = self._rng.random
+        #: Cumulative weights for the current runnable tuple, rebuilt on
+        #: membership change (weights are fixed once assigned, so a
+        #: cached prefix-sum stays valid for the epoch).
+        self._cum_epoch: Optional[Sequence[CoroutineId]] = None
+        self._cum: List[float] = []
+        self._total = 0.0
 
-    def select(self, runnable: Sequence[CoroutineId], clock: int) -> CoroutineId:
-        starving = [
-            cid
-            for cid in runnable
-            if clock - self._last_ran.get(cid, 0) >= self._bound
-        ]
-        if starving:
-            choice = min(starving, key=lambda cid: self._last_ran.get(cid, 0))
+    def _on_new_runnable(self, runnable: Sequence[CoroutineId]) -> None:
+        """Hook for subclasses that assign weights on first sight."""
+
+    def select_index(self, runnable: Sequence[CoroutineId], clock: int) -> int:
+        """Index-direct selection (see RoundRobinScheduler.select_index).
+
+        Draw-for-draw identical to the original per-step
+        ``rng.choices(list(runnable), weights=...)``: ``choices`` with
+        ``k=1`` consumes one ``random()`` and bisects the cumulative
+        weights — reproduced here against the epoch-cached prefix sums.
+        """
+        if runnable is not self._cum_epoch:
+            self._on_new_runnable(runnable)
+            weights_get = self._weights.get
+            self._cum = list(
+                accumulate(weights_get(cid, 1.0) for cid in runnable)
+            )
+            self._total = self._cum[-1] + 0.0
+            self._cum_epoch = runnable if type(runnable) is tuple else None
+        if runnable is not self._fepoch:
+            self._rebuild_fairness(runnable)
+        vals = self._fvals
+        argmin = self._fargmin
+        if clock - vals[argmin] >= self._bound:
+            index = argmin
         else:
-            weights = [self._weights.get(cid, 1.0) for cid in runnable]
-            choice = self._rng.choices(list(runnable), weights=weights, k=1)[0]
-        self._last_ran[choice] = clock
-        return choice
+            index = bisect(
+                self._cum, self._random() * self._total, 0, len(runnable) - 1
+            )
+        vals[index] = clock
+        self._last_ran[runnable[index]] = clock
+        if index == argmin:
+            self._fargmin = vals.index(min(vals))
+        return index
 
 
 class TraceScheduler(Scheduler):

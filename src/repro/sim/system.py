@@ -151,6 +151,11 @@ class System:
         self._co_digests: Dict[CoroutineId, int] = {}
         self._co_dirty: set = set()
         self._co_fold = 0
+        #: Whether an incremental fingerprint() has ever been requested.
+        #: Until then the per-step coroutine dirty-tracking is skipped —
+        #: pure overhead for the (fuzzing/campaign) runs that never
+        #: fingerprint — and the first call marks everything dirty.
+        self._fp_live = False
         #: Message-delivery hook installed by ``repro.mp.network``; None in
         #: pure shared-memory systems (Send/Broadcast then deliver
         #: immediately into mailboxes).
@@ -277,7 +282,8 @@ class System:
         self.clock = clock
         self.metrics.total_steps += 1
         co.steps_taken += 1
-        self._co_dirty.add(cid)
+        if self._fp_live:
+            self._co_dirty.add(cid)
         if self.network is not None:
             self.network.tick(clock, self)
         try:
@@ -337,61 +343,87 @@ class System:
         handlers_get = self._HANDLERS.get
         metrics = self.metrics
         co_dirty_add = self._co_dirty.add
-        scheduler_select = self.scheduler.select
-        while True:
-            if predicate():
-                return taken
-            if taken >= max_steps:
-                raise StepLimitExceeded(
-                    f"{label} not reached within {max_steps} steps "
-                    f"(clock={self.clock})",
-                    steps=taken,
-                )
-            if self.on_step is not None or self.network is not None:
-                if not step():
+        scheduler = self.scheduler
+        scheduler_select = scheduler.select
+        # Index-direct selection when the scheduler exposes it (all the
+        # in-tree non-wrapping schedulers do); decision-identical, one
+        # call instead of two.
+        select_index = getattr(scheduler, "select_index", None)
+        # The network hook is installed at system construction (before
+        # any drive) and never detaches mid-run; hoisting it leaves one
+        # on_step load on the per-step instrumentation check. on_step
+        # *does* detach mid-run (the explorer's recording window), so it
+        # must stay a per-step load.
+        network = self.network
+        # total_steps is only observed between runs, so the fast path
+        # batches the counter into one add per run_until call (exception
+        # exits included) instead of one per step.
+        batched = 0
+        try:
+            while True:
+                if predicate():
+                    return taken
+                if taken >= max_steps:
+                    raise StepLimitExceeded(
+                        f"{label} not reached within {max_steps} steps "
+                        f"(clock={self.clock})",
+                        steps=taken,
+                    )
+                if network is not None or self.on_step is not None:
+                    if not step():
+                        raise StepLimitExceeded(
+                            f"{label} unreachable: no runnable coroutines left "
+                            f"(clock={self.clock})",
+                            steps=taken,
+                        )
+                    taken += 1
+                    continue
+                # ---- inlined step() body (uninstrumented fast path) ----
+                runnable = self._runnable_cache
+                if runnable is None:
+                    runnable = self._runnable()
+                if not runnable:
                     raise StepLimitExceeded(
                         f"{label} unreachable: no runnable coroutines left "
                         f"(clock={self.clock})",
                         steps=taken,
                     )
+                if select_index is not None:
+                    cid = runnable[select_index(runnable, self.clock)]
+                else:
+                    cid = scheduler_select(runnable, self.clock)
+                co = coroutines_get(cid)
+                if co is None or co.finished:
+                    raise SchedulerError(
+                        f"scheduler chose non-runnable coroutine {cid!r}"
+                    )
+                self.clock += 1
+                batched += 1
+                co.steps_taken += 1
+                # _fp_live is re-read per step on purpose: a predicate
+                # may call fingerprint() mid-run, and hoisting the flag
+                # would leave the steps after that call untracked (a
+                # silently stale fingerprint).
+                if self._fp_live:
+                    co_dirty_add(cid)
+                try:
+                    if co.started:
+                        effect = co.resume(co.next_send)
+                    else:
+                        co.started = True
+                        effect = co.resume(None)
+                except StopIteration:
+                    co.finished = True
+                    self._runnable_cache = None
+                else:
+                    handler = handlers_get(type(effect))
+                    if handler is None:
+                        co.next_send = self._execute(cid, effect)
+                    else:
+                        co.next_send = handler(self, cid[0], effect)
                 taken += 1
-                continue
-            # ---- inlined step() body (uninstrumented fast path) ----
-            runnable = self._runnable_cache
-            if runnable is None:
-                runnable = self._runnable()
-            if not runnable:
-                raise StepLimitExceeded(
-                    f"{label} unreachable: no runnable coroutines left "
-                    f"(clock={self.clock})",
-                    steps=taken,
-                )
-            cid = scheduler_select(runnable, self.clock)
-            co = coroutines_get(cid)
-            if co is None or co.finished:
-                raise SchedulerError(
-                    f"scheduler chose non-runnable coroutine {cid!r}"
-                )
-            self.clock += 1
-            metrics.total_steps += 1
-            co.steps_taken += 1
-            co_dirty_add(cid)
-            try:
-                if co.started:
-                    effect = co.resume(co.next_send)
-                else:
-                    co.started = True
-                    effect = co.resume(None)
-            except StopIteration:
-                co.finished = True
-                self._runnable_cache = None
-            else:
-                handler = handlers_get(type(effect))
-                if handler is None:
-                    co.next_send = self._execute(cid, effect)
-                else:
-                    co.next_send = handler(self, cid[0], effect)
-            taken += 1
+        finally:
+            metrics.total_steps += batched
 
     def steps_of(self, cid: CoroutineId) -> int:
         """Steps taken so far by coroutine ``cid`` (0 if never spawned)."""
@@ -626,6 +658,12 @@ class System:
                 self.history.fingerprint_fold(full=True),
                 cos,
             )
+        if not self._fp_live:
+            # First incremental request: start per-step dirty-tracking
+            # and re-digest every live coroutine once (steps taken while
+            # tracking was off never entered the dirty set).
+            self._fp_live = True
+            self._co_dirty.update(self._coroutines)
         return combine64(
             self.registers.fingerprint_fold(),
             self._flush_mailbox_fold(),

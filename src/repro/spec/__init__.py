@@ -8,6 +8,7 @@ Two complementary verdicts (see DESIGN.md §3):
   paper's constructive Appendix arguments driving a Wing–Gong checker.
 """
 
+from repro.spec.context import CheckContext
 from repro.spec.byzantine import (
     ByzantineVerdict,
     check_authenticated,
@@ -16,6 +17,7 @@ from repro.spec.byzantine import (
     check_verifiable,
 )
 from repro.spec.linearizability import (
+    IncrementalChecker,
     LinearizationResult,
     assert_linearizable,
     check_linearizable,
@@ -40,6 +42,8 @@ from repro.spec.sequential import (
 __all__ = [
     "AuthenticatedRegisterSpec",
     "ByzantineVerdict",
+    "CheckContext",
+    "IncrementalChecker",
     "LinearizationResult",
     "PropertyReport",
     "RegularRegisterSpec",

@@ -34,6 +34,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.sim.history import History, OperationRecord, fresh_op_ids
 from repro.sim.values import BOTTOM, freeze, is_bottom
+from repro.spec.context import CheckContext
 from repro.spec.linearizability import LinearizationResult, find_linearization
 from repro.spec.sequential import (
     DONE,
@@ -69,6 +70,70 @@ class ByzantineVerdict:
 
     def __bool__(self) -> bool:
         return self.ok
+
+    def copy(self) -> "ByzantineVerdict":
+        """An independent copy (cached verdicts hand these out)."""
+        return ByzantineVerdict(
+            ok=self.ok,
+            reason=self.reason,
+            synthesized=list(self.synthesized),
+            linearization=(
+                None if self.linearization is None else list(self.linearization)
+            ),
+            explored=self.explored,
+        )
+
+
+def _verdict_key(
+    kind: str,
+    history: History,
+    correct: Set[int],
+    obj: str,
+    writer: int,
+    extras: Tuple[Any, ...],
+) -> Optional[Tuple]:
+    """Whole-verdict memo key, or None when the history is uncacheable.
+
+    The verdict is a pure function of (a) the correct processes'
+    operations on ``obj`` — synthesis reads the complete ones, the final
+    linearization all of them — (b) the writer's identity and
+    correctness, (c) the spec parameters in ``extras``, and (d) the
+    fresh-id base (synthesized records embed ids derived from the *full*
+    history's max operation id, and those ids appear in reasons and
+    witnesses). Keys use real record equality, never digests.
+    """
+    records = tuple(
+        r for r in history.operations(obj=obj) if r.pid in correct
+    )
+    base = max((r.op_id for r in history.all()), default=-1)
+    key = (kind, obj, writer, writer in correct, base, extras, records)
+    try:
+        hash(key)
+    except TypeError:
+        return None
+    return key
+
+
+def _memo_verdict(
+    ctx: Optional[CheckContext],
+    key_args: Tuple,
+    compute,
+) -> ByzantineVerdict:
+    """Compute-or-reuse a Byzantine verdict through ``ctx``."""
+    if ctx is None:
+        return compute()
+    key = _verdict_key(*key_args)
+    if key is None:
+        return compute()
+    table = ctx.table("byzantine")
+    cached = table.get(key)
+    if cached is not None:
+        ctx.hits += 1
+        return cached.copy()
+    ctx.misses += 1
+    verdict = compute()
+    table[key] = verdict.copy()
+    return verdict
 
 
 class _Placer:
@@ -174,11 +239,12 @@ def _finish(
     spec: SequentialSpec,
     obj: str,
     max_nodes: int,
+    ctx: Optional[CheckContext] = None,
 ) -> ByzantineVerdict:
     """Merge synthesized ops into the restriction and linearize."""
     merged = restricted.with_synthetic(synthesized)
     result = find_linearization(
-        merged.operations(obj=obj), spec, max_nodes=max_nodes
+        merged.operations(obj=obj), spec, max_nodes=max_nodes, ctx=ctx
     )
     if result.ok:
         return ByzantineVerdict(
@@ -207,14 +273,34 @@ def check_verifiable(
     writer: int,
     initial: Any = None,
     max_nodes: int = 2_000_000,
+    ctx: Optional[CheckContext] = None,
 ) -> ByzantineVerdict:
     """Byzantine linearizability of a verifiable-register history."""
     correct = set(correct)
+    return _memo_verdict(
+        ctx,
+        ("verifiable", history, correct, obj, writer,
+         (freeze(initial), max_nodes)),
+        lambda: _check_verifiable(
+            history, correct, obj, writer, initial, max_nodes, ctx
+        ),
+    )
+
+
+def _check_verifiable(
+    history: History,
+    correct: Set[int],
+    obj: str,
+    writer: int,
+    initial: Any,
+    max_nodes: int,
+    ctx: Optional[CheckContext],
+) -> ByzantineVerdict:
     spec = VerifiableRegisterSpec(initial=freeze(initial))
     restricted = history.restrict(correct)
     if writer in correct:
         result = find_linearization(
-            restricted.operations(obj=obj), spec, max_nodes=max_nodes
+            restricted.operations(obj=obj), spec, max_nodes=max_nodes, ctx=ctx
         )
         return ByzantineVerdict(
             ok=result.ok,
@@ -278,7 +364,7 @@ def check_verifiable(
             )
         )
 
-    return _finish(restricted, synthesized, spec, obj, max_nodes)
+    return _finish(restricted, synthesized, spec, obj, max_nodes, ctx)
 
 
 # ----------------------------------------------------------------------
@@ -291,15 +377,35 @@ def check_authenticated(
     writer: int,
     initial: Any = None,
     max_nodes: int = 2_000_000,
+    ctx: Optional[CheckContext] = None,
 ) -> ByzantineVerdict:
     """Byzantine linearizability of an authenticated-register history."""
     correct = set(correct)
+    return _memo_verdict(
+        ctx,
+        ("authenticated", history, correct, obj, writer,
+         (freeze(initial), max_nodes)),
+        lambda: _check_authenticated(
+            history, correct, obj, writer, initial, max_nodes, ctx
+        ),
+    )
+
+
+def _check_authenticated(
+    history: History,
+    correct: Set[int],
+    obj: str,
+    writer: int,
+    initial: Any,
+    max_nodes: int,
+    ctx: Optional[CheckContext],
+) -> ByzantineVerdict:
     v0 = freeze(initial)
     spec = AuthenticatedRegisterSpec(initial=v0)
     restricted = history.restrict(correct)
     if writer in correct:
         result = find_linearization(
-            restricted.operations(obj=obj), spec, max_nodes=max_nodes
+            restricted.operations(obj=obj), spec, max_nodes=max_nodes, ctx=ctx
         )
         return ByzantineVerdict(
             ok=result.ok,
@@ -384,7 +490,7 @@ def check_authenticated(
             )
         )
 
-    return _finish(restricted, synthesized, spec, obj, max_nodes)
+    return _finish(restricted, synthesized, spec, obj, max_nodes, ctx)
 
 
 # ----------------------------------------------------------------------
@@ -396,14 +502,30 @@ def check_sticky(
     obj: str,
     writer: int,
     max_nodes: int = 2_000_000,
+    ctx: Optional[CheckContext] = None,
 ) -> ByzantineVerdict:
     """Byzantine linearizability of a sticky-register history."""
     correct = set(correct)
+    return _memo_verdict(
+        ctx,
+        ("sticky", history, correct, obj, writer, (max_nodes,)),
+        lambda: _check_sticky(history, correct, obj, writer, max_nodes, ctx),
+    )
+
+
+def _check_sticky(
+    history: History,
+    correct: Set[int],
+    obj: str,
+    writer: int,
+    max_nodes: int,
+    ctx: Optional[CheckContext],
+) -> ByzantineVerdict:
     spec = StickyRegisterSpec()
     restricted = history.restrict(correct)
     if writer in correct:
         result = find_linearization(
-            restricted.operations(obj=obj), spec, max_nodes=max_nodes
+            restricted.operations(obj=obj), spec, max_nodes=max_nodes, ctx=ctx
         )
         return ByzantineVerdict(
             ok=result.ok,
@@ -453,7 +575,7 @@ def check_sticky(
                 write_id, writer, obj, "write", (value,), interval, DONE
             )
         )
-    return _finish(restricted, synthesized, spec, obj, max_nodes)
+    return _finish(restricted, synthesized, spec, obj, max_nodes, ctx)
 
 
 # ----------------------------------------------------------------------
@@ -465,14 +587,32 @@ def check_test_or_set(
     obj: str,
     setter: int,
     max_nodes: int = 2_000_000,
+    ctx: Optional[CheckContext] = None,
 ) -> ByzantineVerdict:
     """Byzantine linearizability of a test-or-set history."""
     correct = set(correct)
+    return _memo_verdict(
+        ctx,
+        ("test_or_set", history, correct, obj, setter, (max_nodes,)),
+        lambda: _check_test_or_set(
+            history, correct, obj, setter, max_nodes, ctx
+        ),
+    )
+
+
+def _check_test_or_set(
+    history: History,
+    correct: Set[int],
+    obj: str,
+    setter: int,
+    max_nodes: int,
+    ctx: Optional[CheckContext],
+) -> ByzantineVerdict:
     spec = TestOrSetSpec()
     restricted = history.restrict(correct)
     if setter in correct:
         result = find_linearization(
-            restricted.operations(obj=obj), spec, max_nodes=max_nodes
+            restricted.operations(obj=obj), spec, max_nodes=max_nodes, ctx=ctx
         )
         return ByzantineVerdict(
             ok=result.ok,
@@ -506,4 +646,4 @@ def check_test_or_set(
         synthesized.append(
             _writer_record(set_id, setter, obj, "set", (), interval, DONE)
         )
-    return _finish(restricted, synthesized, spec, obj, max_nodes)
+    return _finish(restricted, synthesized, spec, obj, max_nodes, ctx)

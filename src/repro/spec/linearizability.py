@@ -11,19 +11,50 @@ Incomplete operations (invocation without response — Definition 2) may be
 either dropped or linearized with *any* spec-produced response; the
 search explores both.
 
+The search core is an *iterative* loop over integer bitmasks: operations
+are indexed ``0..n-1``, the linearized set is one machine int,
+predecessor sets are precomputed masks, and every ``spec.apply``
+transition is memoized per ``(state, op, args)`` — shareable across
+runs through a :class:`repro.spec.context.CheckContext`. Three further
+refinements keep pathological histories cheap:
+
+* **candidate ordering** — complete operations are tried before
+  incomplete ones (their fixed responses prune hardest), each group in
+  invocation order, fixing the pathological orderings raw record order
+  could produce;
+* **symmetry reduction** — operations that are observably
+  interchangeable (same op, args, completion status and result, and
+  identical predecessor/successor masks) are linearized in index order
+  only; any witness using another order permutes into this one;
+* **no recursion** — an explicit stack bounds memory by the history
+  length, so 500-operation sequential histories check in linear time
+  without touching the interpreter's recursion limit.
+
 Complexity is exponential in the width of concurrency, which is fine for
 the histories this library produces (tens of operations, bounded overlap).
 The memoization makes sequential-heavy histories linear-time in practice.
+
+:class:`IncrementalChecker` adds the early-exit mode: linearizability is
+prefix-closed (every prefix of a linearizable history is linearizable —
+take a linearization of the full history, cut it after the last
+operation that completed within the prefix, and drop the still-pending
+operations after the cut), so a run whose *partial* history already
+fails to linearize can stop simulating immediately: no extension ever
+becomes linearizable again.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import LinearizabilityViolation
 from repro.sim.history import History, OperationRecord
+from repro.spec.context import CheckContext
 from repro.spec.sequential import SequentialSpec
+
+#: Sentinel for "spec.apply raised ValueError here" in the apply memo.
+_INAPPLICABLE = object()
 
 
 @dataclass
@@ -47,11 +78,21 @@ class LinearizationResult:
     def __bool__(self) -> bool:
         return self.ok
 
+    def copy(self) -> "LinearizationResult":
+        """An independent copy (cached results hand these out)."""
+        return LinearizationResult(
+            ok=self.ok,
+            order=None if self.order is None else list(self.order),
+            explored=self.explored,
+            reason=self.reason,
+        )
+
 
 def find_linearization(
     records: Sequence[OperationRecord],
     spec: SequentialSpec,
     max_nodes: int = 2_000_000,
+    ctx: Optional[CheckContext] = None,
 ) -> LinearizationResult:
     """Search for a linearization of ``records`` against ``spec``.
 
@@ -61,68 +102,182 @@ def find_linearization(
         max_nodes: Search budget; exceeding it raises
             :class:`LinearizabilityViolation` (so a silent wrong verdict
             is impossible — budget exhaustion is loud).
+        ctx: Optional :class:`CheckContext`; shares the per-spec
+            ``apply`` memo and the whole-result cache across the many
+            checks of one campaign cell / exploration / replay batch.
     """
-    complete = [r for r in records if r.complete]
-    incomplete = [r for r in records if not r.complete]
-    all_ids = [r.op_id for r in records]
-    by_id = {r.op_id: r for r in records}
+    records = tuple(records)
+    cache_key: Optional[Tuple] = None
+    if ctx is not None:
+        try:
+            cache_key = (spec, records, max_nodes)
+            cached = ctx.table("linearize").get(cache_key)
+        except TypeError:
+            cache_key = None
+        else:
+            if cached is not None:
+                ctx.hits += 1
+                return cached.copy()
+            ctx.misses += 1
+    apply_table = (
+        ctx.apply_table(spec) if ctx is not None else {}
+    )
+    result = _search(records, spec, max_nodes, apply_table)
+    if cache_key is not None:
+        ctx.table("linearize")[cache_key] = result.copy()
+    return result
 
-    # Precompute, for each op, the set of *complete* ops preceding it: an
-    # op may be appended only when all of its predecessors already were.
-    predecessors: Dict[int, frozenset] = {}
-    for r in records:
-        preds = frozenset(
-            other.op_id for other in complete if other.precedes(r)
-        )
-        predecessors[r.op_id] = preds
 
-    target = frozenset(r.op_id for r in complete)
-    failed: Set[Tuple[frozenset, Hashable]] = set()
+def _search(
+    records: Tuple[OperationRecord, ...],
+    spec: SequentialSpec,
+    max_nodes: int,
+    apply_table: Dict,
+) -> LinearizationResult:
+    """The iterative bitmask Wing–Gong search core."""
+    n = len(records)
+    initial = spec.initial_state()
+    if n == 0:
+        return LinearizationResult(ok=True, order=[], explored=0)
+
+    # Static candidate order: complete operations first (their fixed
+    # responses prune hardest), each group in invocation order. Bit i
+    # of every mask refers to recs[i].
+    recs = sorted(
+        records, key=lambda r: (not r.complete, r.invoked_at, r.op_id)
+    )
+
+    # Predecessor masks (Definition 1 precedence, complete ops only) and
+    # the target: every complete op must be linearized.
+    preds = [0] * n
+    target = 0
+    for j in range(n):
+        q = recs[j]
+        if not q.complete:
+            continue
+        target |= 1 << j
+        responded = q.responded_at
+        bit = 1 << j
+        for i in range(n):
+            if responded < recs[i].invoked_at:
+                preds[i] |= bit
+
+    # Symmetry reduction: interchangeable operations (identical op,
+    # args, completion status, result, predecessor mask and successor
+    # mask) are only tried in index order — any witness using a member
+    # out of order permutes into one that doesn't.
+    succs = [0] * n
+    for i in range(n):
+        bit = 1 << i
+        for j in range(n):
+            if preds[j] & bit:
+                succs[i] |= 1 << j
+    try:
+        groups: Dict[Hashable, int] = {}
+        for i in range(n):
+            r = recs[i]
+            key = (
+                r.op, r.args, r.complete,
+                r.result if r.complete else None,
+                preds[i], succs[i],
+            )
+            prev = groups.get(key)
+            if prev is not None:
+                preds[i] |= 1 << prev
+            groups[key] = i
+    except TypeError:
+        pass  # unhashable args/results: skip the reduction, stay sound
+
+    ops: List[Tuple[str, Tuple[Any, ...], bool, Any]] = [
+        (r.op, r.args, r.complete, r.result) for r in recs
+    ]
+    apply = spec.apply
+    table_get = apply_table.get
+
     explored = 0
-
-    def search(
-        done: frozenset, state: Hashable, order: List[int]
-    ) -> Optional[List[int]]:
-        nonlocal explored
-        if target <= done:
-            return list(order)
-        key = (done, state)
-        if key in failed:
-            return None
-        explored += 1
+    failed: Set[Tuple[int, Hashable]] = set()
+    # One frame per partial linearization: [done-mask, state, next
+    # candidate index]. path holds the chosen indices, in order.
+    stack: List[List] = [[0, initial, 0]]
+    path: List[int] = []
+    witness: Optional[List[int]] = None
+    if target == 0:
+        witness = []  # nothing to linearize (all ops incomplete+dropped)
+    else:
+        explored = 1  # the root node
         if explored > max_nodes:
             raise LinearizabilityViolation(
                 f"linearizability search exceeded {max_nodes} nodes; "
                 f"history too concurrent for the budget"
             )
-        for op_id in all_ids:
-            if op_id in done:
-                continue
-            record = by_id[op_id]
-            if not predecessors[op_id] <= done:
-                continue
-            try:
-                next_state, response = spec.apply(state, record.op, record.args)
-            except ValueError:
-                continue  # op not applicable -> cannot appear here
-            if record.complete and response != record.result:
-                continue
-            order.append(op_id)
-            outcome = search(done | {op_id}, next_state, order)
-            if outcome is not None:
-                return outcome
-            order.pop()
-        failed.add(key)
-        return None
 
-    witness = search(frozenset(), spec.initial_state(), [])
+    while witness is None and stack:
+        frame = stack[-1]
+        done, state, idx = frame[0], frame[1], frame[2]
+        pushed = False
+        while idx < n:
+            bit = 1 << idx
+            if done & bit or preds[idx] & ~done:
+                idx += 1
+                continue
+            op, args, complete, expected = ops[idx]
+            key = (state, op, args)
+            try:
+                outcome = table_get(key)
+            except TypeError:
+                key = None  # unhashable args: apply uncached, stay sound
+                outcome = None
+            if outcome is None:
+                try:
+                    outcome = apply(state, op, args)
+                except ValueError:
+                    outcome = _INAPPLICABLE
+                if key is not None:
+                    apply_table[key] = outcome
+            if outcome is _INAPPLICABLE:
+                idx += 1
+                continue
+            next_state, response = outcome
+            if complete and response != expected:
+                idx += 1
+                continue
+            child_done = done | bit
+            if target & ~child_done == 0:
+                path.append(idx)
+                witness = list(path)
+                break
+            if (child_done, next_state) in failed:
+                idx += 1
+                continue
+            explored += 1
+            if explored > max_nodes:
+                raise LinearizabilityViolation(
+                    f"linearizability search exceeded {max_nodes} nodes; "
+                    f"history too concurrent for the budget"
+                )
+            frame[2] = idx + 1
+            path.append(idx)
+            stack.append([child_done, next_state, 0])
+            pushed = True
+            break
+        if pushed or witness is not None:
+            continue
+        failed.add((done, state))
+        stack.pop()
+        if path:
+            path.pop()
+
     if witness is None:
         return LinearizationResult(
             ok=False,
             explored=explored,
             reason=_failure_summary(records, spec),
         )
-    return LinearizationResult(ok=True, order=witness, explored=explored)
+    return LinearizationResult(
+        ok=True,
+        order=[recs[i].op_id for i in witness],
+        explored=explored,
+    )
 
 
 def check_linearizable(
@@ -130,6 +285,7 @@ def check_linearizable(
     spec: SequentialSpec,
     obj: Optional[str] = None,
     max_nodes: int = 2_000_000,
+    ctx: Optional[CheckContext] = None,
 ) -> LinearizationResult:
     """Check one object's operations in ``history`` against ``spec``.
 
@@ -137,19 +293,20 @@ def check_linearizable(
     every record (valid only for single-object histories).
     """
     records = history.operations(obj=obj)
-    return find_linearization(records, spec, max_nodes=max_nodes)
+    return find_linearization(records, spec, max_nodes=max_nodes, ctx=ctx)
 
 
 def assert_linearizable(
     history: History,
     spec: SequentialSpec,
     obj: Optional[str] = None,
+    ctx: Optional[CheckContext] = None,
 ) -> List[int]:
     """Like :func:`check_linearizable` but raising on failure.
 
     Returns the witness order for convenience in tests.
     """
-    result = check_linearizable(history, spec, obj=obj)
+    result = check_linearizable(history, spec, obj=obj, ctx=ctx)
     if not result.ok:
         raise LinearizabilityViolation(
             f"history of {obj or '<all>'} is not linearizable against "
@@ -157,6 +314,75 @@ def assert_linearizable(
         )
     assert result.order is not None
     return result.order
+
+
+class IncrementalChecker:
+    """Early-exit linearizability over a history that is still growing.
+
+    Linearizability is *prefix-closed*: if the history produced so far
+    (complete operations with their responses, in-flight operations as
+    incomplete) has no linearization, then no extension — however the
+    pending operations complete, whatever is invoked later — has one
+    either. The checker consumes operations as they complete (feed it
+    from :attr:`repro.sim.history.History.on_complete`) and re-checks
+    the partial history every ``interval`` completions with warm
+    :class:`CheckContext` caches; once :attr:`doomed` is set the run can
+    stop simulating immediately instead of driving to the horizon and
+    checking once.
+
+    The verdict is *sticky and sound*: ``doomed`` carries the failure
+    summary of the first non-linearizable prefix, and a doomed history
+    stays non-linearizable forever. A clean partial verdict promises
+    nothing about the future — only the final batch check does.
+    """
+
+    def __init__(
+        self,
+        history: History,
+        spec: SequentialSpec,
+        obj: Optional[str] = None,
+        ctx: Optional[CheckContext] = None,
+        interval: int = 1,
+        max_nodes: int = 2_000_000,
+    ) -> None:
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        self.history = history
+        self.spec = spec
+        self.obj = obj
+        self.ctx = ctx if ctx is not None else CheckContext()
+        self.interval = interval
+        self.max_nodes = max_nodes
+        self.checks = 0
+        self._pending = 0
+        #: Failure summary of the first doomed prefix, or None.
+        self.doomed: Optional[str] = None
+
+    def on_complete(self, record: OperationRecord) -> None:
+        """History hook: one operation just received its response."""
+        if self.doomed is not None:
+            return
+        if self.obj is not None and record.obj != self.obj:
+            return
+        self._pending += 1
+        if self._pending >= self.interval:
+            self._pending = 0
+            self.check_now()
+
+    def check_now(self) -> Optional[str]:
+        """Re-check the partial history; returns the doom reason, if any."""
+        if self.doomed is not None:
+            return self.doomed
+        self.checks += 1
+        result = find_linearization(
+            self.history.operations(obj=self.obj),
+            self.spec,
+            max_nodes=self.max_nodes,
+            ctx=self.ctx,
+        )
+        if not result.ok:
+            self.doomed = result.reason
+        return self.doomed
 
 
 def _failure_summary(

@@ -18,10 +18,11 @@ A check returns a :class:`PropertyReport`; reports compose with ``&``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.sim.history import History, OperationRecord
 from repro.sim.values import BOTTOM, freeze, is_bottom
+from repro.spec.context import CheckContext
 from repro.spec.sequential import SUCCESS
 
 
@@ -63,16 +64,67 @@ class PropertyReport:
         lines.extend(self.violations)
         return "\n".join(lines)
 
+    def copy(self) -> "PropertyReport":
+        """An independent copy (cached reports hand these out)."""
+        return PropertyReport(
+            ok=self.ok,
+            violations=list(self.violations),
+            checked=list(self.checked),
+        )
 
-def _ops(
-    history: History, correct: Iterable[int], obj: str, op: str
-) -> List[OperationRecord]:
-    keep = set(correct)
-    return [
+
+def _gather(
+    history: History, correct: Set[int], obj: str
+) -> Dict[str, List[OperationRecord]]:
+    """One history scan: completed correct-process ops on ``obj``, by name.
+
+    The property checks each look at two or three op kinds; grouping in
+    a single pass replaces the four-to-five full scans the per-op filter
+    calls used to cost on the campaign hot path.
+    """
+    grouped: Dict[str, List[OperationRecord]] = {}
+    for record in history.operations(obj=obj, complete_only=True):
+        if record.pid in correct:
+            grouped.setdefault(record.op, []).append(record)
+    return grouped
+
+
+def _memo_report(
+    ctx: Optional[CheckContext],
+    family: str,
+    history: History,
+    correct: Set[int],
+    obj: str,
+    writer: int,
+    extras: Tuple[Any, ...],
+    compute: Callable[[], "PropertyReport"],
+) -> "PropertyReport":
+    """Compute-or-reuse a property report through ``ctx``.
+
+    Reports read only the completed operations of correct processes on
+    ``obj``, so that record tuple (plus the writer's identity and
+    correctness and the spec extras) keys the verdict exactly.
+    """
+    if ctx is None:
+        return compute()
+    records = tuple(
         r
-        for r in history.operations(obj=obj, op=op, complete_only=True)
-        if r.pid in keep
-    ]
+        for r in history.operations(obj=obj, complete_only=True)
+        if r.pid in correct
+    )
+    key = (family, obj, writer, writer in correct, extras, records)
+    try:
+        table = ctx.table("properties")
+        cached = table.get(key)
+    except TypeError:
+        return compute()
+    if cached is not None:
+        ctx.hits += 1
+        return cached.copy()
+    ctx.misses += 1
+    report = compute()
+    table[key] = report.copy()
+    return report
 
 
 def _value(record: OperationRecord) -> Any:
@@ -105,17 +157,33 @@ def check_verifiable_properties(
     obj: str,
     writer: int,
     initial: Any = None,
+    ctx: Optional[CheckContext] = None,
 ) -> PropertyReport:
     """Validity, unforgeability, relay, and read-regularity checks."""
     correct = set(correct)
+    return _memo_report(
+        ctx, "verifiable", history, correct, obj, writer,
+        (freeze(initial),),
+        lambda: _verifiable_report(history, correct, obj, writer, initial),
+    )
+
+
+def _verifiable_report(
+    history: History,
+    correct: Set[int],
+    obj: str,
+    writer: int,
+    initial: Any,
+) -> PropertyReport:
     report = PropertyReport()
-    verifies = _ops(history, correct, obj, "verify")
+    grouped = _gather(history, correct, obj)
+    verifies = grouped.get("verify", [])
     report.record("relay (Obs 13)", _relay_failures(verifies))
 
     if writer in correct:
-        signs = _ops(history, correct, obj, "sign")
-        writes = _ops(history, correct, obj, "write")
-        reads = _ops(history, correct, obj, "read")
+        signs = grouped.get("sign", [])
+        writes = grouped.get("write", [])
+        reads = grouped.get("read", [])
 
         def validity() -> Iterable[str]:
             # Obs 11: a successful Sign(v) makes every later Verify(v) true.
@@ -196,13 +264,29 @@ def check_authenticated_properties(
     obj: str,
     writer: int,
     initial: Any = None,
+    ctx: Optional[CheckContext] = None,
 ) -> PropertyReport:
     """Validity, unforgeability, relay, and the Obs 19 read guarantee."""
     correct = set(correct)
+    return _memo_report(
+        ctx, "authenticated", history, correct, obj, writer,
+        (freeze(initial),),
+        lambda: _authenticated_report(history, correct, obj, writer, initial),
+    )
+
+
+def _authenticated_report(
+    history: History,
+    correct: Set[int],
+    obj: str,
+    writer: int,
+    initial: Any,
+) -> PropertyReport:
     v0 = freeze(initial)
     report = PropertyReport()
-    verifies = _ops(history, correct, obj, "verify")
-    reads = _ops(history, correct, obj, "read")
+    grouped = _gather(history, correct, obj)
+    verifies = grouped.get("verify", [])
+    reads = grouped.get("read", [])
     report.record("relay (Obs 18)", _relay_failures(verifies))
 
     def read_then_verify() -> Iterable[str]:
@@ -232,7 +316,7 @@ def check_authenticated_properties(
     report.record("initial-verifies (Lemma 113)", initial_always_verifies())
 
     if writer in correct:
-        writes = _ops(history, correct, obj, "write")
+        writes = grouped.get("write", [])
 
         def validity() -> Iterable[str]:
             # Obs 16: a completed Write(v) makes every later Verify(v) true.
@@ -294,11 +378,25 @@ def check_sticky_properties(
     correct: Iterable[int],
     obj: str,
     writer: int,
+    ctx: Optional[CheckContext] = None,
 ) -> PropertyReport:
     """Validity, unforgeability, and uniqueness checks."""
     correct = set(correct)
+    return _memo_report(
+        ctx, "sticky", history, correct, obj, writer, (),
+        lambda: _sticky_report(history, correct, obj, writer),
+    )
+
+
+def _sticky_report(
+    history: History,
+    correct: Set[int],
+    obj: str,
+    writer: int,
+) -> PropertyReport:
     report = PropertyReport()
-    reads = _ops(history, correct, obj, "read")
+    grouped = _gather(history, correct, obj)
+    reads = grouped.get("read", [])
 
     def uniqueness() -> Iterable[str]:
         # Obs 24 strengthened to the full stickiness statement: all non-⊥
@@ -323,7 +421,7 @@ def check_sticky_properties(
     report.record("uniqueness (Obs 24)", uniqueness())
 
     if writer in correct:
-        writes = _ops(history, correct, obj, "write")
+        writes = grouped.get("write", [])
 
         def validity() -> Iterable[str]:
             # Obs 22: after the first Write(v) completes, reads return v.
@@ -375,11 +473,25 @@ def check_test_or_set_properties(
     correct: Iterable[int],
     obj: str,
     setter: int,
+    ctx: Optional[CheckContext] = None,
 ) -> PropertyReport:
     """The three properties every correct test-or-set history satisfies."""
     correct = set(correct)
+    return _memo_report(
+        ctx, "test_or_set", history, correct, obj, setter, (),
+        lambda: _test_or_set_report(history, correct, obj, setter),
+    )
+
+
+def _test_or_set_report(
+    history: History,
+    correct: Set[int],
+    obj: str,
+    setter: int,
+) -> PropertyReport:
     report = PropertyReport()
-    tests = _ops(history, correct, obj, "test")
+    grouped = _gather(history, correct, obj)
+    tests = grouped.get("test", [])
 
     def relay() -> Iterable[str]:
         # Lemma 28(3): Test -> 1 preceding Test' forces Test' -> 1.
@@ -396,7 +508,7 @@ def check_test_or_set_properties(
     report.record("relay (Lemma 28.3)", relay())
 
     if setter in correct:
-        sets = _ops(history, correct, obj, "set")
+        sets = grouped.get("set", [])
 
         def validity() -> Iterable[str]:
             # Lemma 28(1): a completed Set forces later Tests to return 1.
@@ -422,3 +534,266 @@ def check_test_or_set_properties(
         report.record("validity (Lemma 28.1)", validity())
         report.record("unforgeability (Lemma 28.2)", unforgeability())
     return report
+
+
+# ----------------------------------------------------------------------
+# Incremental early-exit monitoring
+# ----------------------------------------------------------------------
+#: Sentinel distinguishing "no value filter" from "value is None".
+_ABSENT = object()
+
+
+class EarlyPropertyMonitor:
+    """Monotone incremental property checking for early-exit runs.
+
+    Feed :meth:`on_complete` from
+    :attr:`repro.sim.history.History.on_complete`; once :attr:`doomed`
+    is set, the run can stop simulating — the final batch check on the
+    truncated history is guaranteed to report a violation, and (because
+    records are only ever *added*) so would the check at any later
+    horizon. Two rule classes keep that guarantee:
+
+    * **completed-pair rules** (relay, validity, read-then-verify,
+      uniqueness, sign-requires-write): a violation is witnessed by two
+      already-completed operations whose results and precedence are
+      frozen facts — no extension retracts them. Pairs are evaluated
+      when their later-completing member completes, so the total cost
+      over a run equals one batch property check.
+    * **absence rules** (unforgeability, read-regularity): the batch
+      check demands a *completed* matching operation; the monitor only
+      dooms when no matching *invocation* exists at all. Any event
+      already in the history was invoked before the current response,
+      and future invocations come later still — so the absence is
+      permanent. This is deliberately conservative: an in-flight
+      operation that would eventually fail suppresses the early exit,
+      never the final verdict.
+
+    The sticky register's first-write rules (Obs 22/23's value
+    comparison) depend on *which* write completes first and are not
+    stable under extension; the monitor checks only their monotone
+    fragments. Early exit is a pure optimization — missed dooms cost
+    horizon steps, never correctness.
+    """
+
+    def __init__(
+        self,
+        history: History,
+        kind: str,
+        correct: Iterable[int],
+        obj: str,
+        writer: int,
+        initial: Any = None,
+        interrupt: bool = False,
+    ) -> None:
+        if kind not in ("verifiable", "authenticated", "sticky", "test_or_set"):
+            raise ValueError(f"no early property monitor for kind {kind!r}")
+        self.history = history
+        self.kind = kind
+        self.correct = frozenset(correct)
+        self.obj = obj
+        self.writer = writer
+        self.writer_correct = writer in self.correct
+        self.v0 = freeze(initial)
+        #: Raise :class:`repro.errors.EarlyExitInterrupt` on doom — a
+        #: one-shot control transfer out of the simulation loop, so
+        #: clean runs never pay a per-step "doomed?" predicate. The
+        #: scenario driver that armed the monitor catches it.
+        self.interrupt = interrupt
+        #: First stable violation found, or None. Sticky once set.
+        self.doomed: Optional[str] = None
+        self._done: Dict[str, List[OperationRecord]] = {}
+        #: Incremental invocation index for the absence rules: op name
+        #: -> set of invoked argument values (correct processes, this
+        #: object), plus a cursor into the append-only history order.
+        self._invocations: Dict[str, set] = {}
+        self._scan_pos = 0
+
+    # -- plumbing -------------------------------------------------------
+    def on_complete(self, record: OperationRecord) -> None:
+        """History hook: one operation just received its response."""
+        if (
+            self.doomed is not None
+            or record.obj != self.obj
+            or record.pid not in self.correct
+        ):
+            return
+        handler = getattr(self, f"_{self.kind}_rules")
+        reason = handler(record)
+        if reason is not None:
+            self.doomed = reason
+            if self.interrupt:
+                from repro.errors import EarlyExitInterrupt
+
+                raise EarlyExitInterrupt(reason)
+        self._done.setdefault(record.op, []).append(record)
+
+    def _invoked(self, op: str, value: Any = _ABSENT) -> bool:
+        """Any correct-process invocation of ``op`` (matching ``value``)?
+
+        Counts in-flight operations too — the conservative side of the
+        absence rules above. Backed by an incremental index over the
+        append-only history order, so each refresh costs O(new records)
+        and a whole run costs one scan, not one scan per rule firing.
+        """
+        fresh = self.history.records_from(self._scan_pos)
+        if fresh:
+            self._scan_pos += len(fresh)
+            invocations = self._invocations
+            obj = self.obj
+            correct = self.correct
+            for r in fresh:
+                if r.obj == obj and r.pid in correct:
+                    values = invocations.get(r.op)
+                    if values is None:
+                        values = invocations[r.op] = set()
+                    try:
+                        values.add(_value(r))
+                    except TypeError:
+                        values.add(_ABSENT)  # unhashable arg: wildcard
+        values = self._invocations.get(op)
+        if values is None:
+            return False
+        return value is _ABSENT or value in values or _ABSENT in values
+
+    # -- per-family rules ----------------------------------------------
+    def _relay(self, record: OperationRecord, op: str = "verify") -> Optional[str]:
+        if record.result is False or (op == "test" and record.result != 1):
+            value = _value(record)
+            for earlier in self._done.get(op, ()):
+                if (
+                    (earlier.result is True if op == "verify" else earlier.result == 1)
+                    and earlier.precedes(record)
+                    and (op == "test" or _value(earlier) == value)
+                ):
+                    return (
+                        f"relay broken early: {earlier.describe()} then "
+                        f"{record.describe()}"
+                    )
+        return None
+
+    def _verifiable_rules(self, record: OperationRecord) -> Optional[str]:
+        if record.op == "verify":
+            reason = self._relay(record)
+            if reason is not None:
+                return reason
+            if self.writer_correct:
+                value = _value(record)
+                if record.result is not True:
+                    for sign in self._done.get("sign", ()):
+                        if (
+                            sign.result == SUCCESS
+                            and _value(sign) == value
+                            and sign.precedes(record)
+                        ):
+                            return (
+                                f"validity broken early: {sign.describe()} "
+                                f"then {record.describe()}"
+                            )
+                elif not self._invoked("sign", value):
+                    return (
+                        f"unforgeability broken early: {record.describe()} "
+                        f"with no Sign({value!r}) ever invoked"
+                    )
+        elif record.op == "sign" and self.writer_correct:
+            value = _value(record)
+            wrote_before = any(
+                w.precedes(record) and _value(w) == value
+                for w in self._done.get("write", ())
+            )
+            if (record.result == SUCCESS) != wrote_before:
+                return f"sign/write mismatch early: {record.describe()}"
+        elif record.op == "read" and self.writer_correct:
+            value = freeze(record.result)
+            if value != self.v0 and not self._invoked("write", value):
+                return (
+                    f"read-regularity broken early: {record.describe()} "
+                    f"with no Write({value!r}) ever invoked"
+                )
+        return None
+
+    def _authenticated_rules(self, record: OperationRecord) -> Optional[str]:
+        if record.op == "verify":
+            reason = self._relay(record)
+            if reason is not None:
+                return reason
+            value = _value(record)
+            if record.result is not True:
+                if value == self.v0:
+                    return f"initial value rejected early: {record.describe()}"
+                for read in self._done.get("read", ()):
+                    if freeze(read.result) == value and read.precedes(record):
+                        return (
+                            f"read-then-verify broken early: "
+                            f"{read.describe()} then {record.describe()}"
+                        )
+                if self.writer_correct:
+                    for write in self._done.get("write", ()):
+                        if _value(write) == value and write.precedes(record):
+                            return (
+                                f"validity broken early: {write.describe()} "
+                                f"then {record.describe()}"
+                            )
+            elif (
+                self.writer_correct
+                and value != self.v0
+                and not self._invoked("write", value)
+            ):
+                return (
+                    f"unforgeability broken early: {record.describe()} "
+                    f"with no Write({value!r}) ever invoked"
+                )
+        elif record.op == "read" and self.writer_correct:
+            value = freeze(record.result)
+            if value != self.v0 and not self._invoked("write", value):
+                return (
+                    f"read-regularity broken early: {record.describe()} "
+                    f"with no Write({value!r}) ever invoked"
+                )
+        return None
+
+    def _sticky_rules(self, record: OperationRecord) -> Optional[str]:
+        if record.op != "read":
+            return None
+        reads = self._done.get("read", ())
+        if is_bottom(record.result):
+            for earlier in reads:
+                if not is_bottom(earlier.result) and earlier.precedes(record):
+                    return (
+                        f"stickiness broken early: {earlier.describe()} "
+                        f"then {record.describe()}"
+                    )
+            return None
+        value = freeze(record.result)
+        for earlier in reads:
+            if not is_bottom(earlier.result) and freeze(earlier.result) != value:
+                return (
+                    f"uniqueness broken early: {earlier.describe()} vs "
+                    f"{record.describe()}"
+                )
+        if self.writer_correct and not self._invoked("write"):
+            return (
+                f"unforgeability broken early: {record.describe()} "
+                f"with no Write ever invoked"
+            )
+        return None
+
+    def _test_or_set_rules(self, record: OperationRecord) -> Optional[str]:
+        if record.op != "test":
+            return None
+        reason = self._relay(record, op="test")
+        if reason is not None:
+            return reason
+        if self.writer_correct:
+            if record.result != 1:
+                for set_op in self._done.get("set", ()):
+                    if set_op.precedes(record):
+                        return (
+                            f"validity broken early: {set_op.describe()} "
+                            f"then {record.describe()}"
+                        )
+            elif not self._invoked("set"):
+                return (
+                    f"unforgeability broken early: {record.describe()} "
+                    f"with no Set ever invoked"
+                )
+        return None

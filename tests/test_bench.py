@@ -29,6 +29,14 @@ class TestCells:
         metrics = bench._bench_kernel_steps(smoke=True)
         assert metrics["steps_per_s"] > 0
 
+    def test_spec_linearize_cell(self):
+        metrics = bench._bench_spec_linearize(smoke=True)
+        assert metrics["checks_per_s"] > 0
+
+    def test_spec_byzantine_cell(self):
+        metrics = bench._bench_spec_byzantine(smoke=True)
+        assert metrics["checks_per_s"] > 0
+
     def test_kernel_fingerprint_cell(self):
         metrics = bench._bench_kernel_fingerprint(smoke=True)
         assert metrics["fingerprints_per_s"] > 0
@@ -91,7 +99,9 @@ class TestEmitTable:
     def test_cli_smoke_no_write(self, tmp_path, capsys, monkeypatch):
         # Exercise arg parsing + compare path without the heavy matrix.
         monkeypatch.setattr(
-            bench, "_matrix", lambda smoke: [("kernel.steps", {"steps_per_s": 10.0})]
+            bench,
+            "_matrix",
+            lambda smoke: [("kernel.steps", lambda: {"steps_per_s": 10.0})],
         )
         baseline = tmp_path / "base.json"
         baseline.write_text(

@@ -21,11 +21,16 @@ from pathlib import Path
 import pytest
 
 from repro.campaign import load_corpus, replay_entry
+from repro.spec import CheckContext
 
 #: The committed corpus at the repository root.
 CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
 
 ENTRIES = load_corpus(CORPUS_DIR)
+
+#: Shared oracle caches across every replay of the suite (ROADMAP item
+#: (c): memo tables persist across corpus replays).
+REPLAY_CTX = CheckContext()
 
 
 def test_corpus_is_committed_and_nonempty():
@@ -41,7 +46,7 @@ def test_corpus_entry_ids_are_unique():
 
 @pytest.mark.parametrize("entry", ENTRIES, ids=lambda entry: entry.label())
 def test_corpus_entry_still_reproduces(entry):
-    outcome = replay_entry(entry)
+    outcome = replay_entry(entry, ctx=REPLAY_CTX)
     assert outcome.ok, (
         f"corpus entry {entry.label()} regressed: {outcome.detail}\n"
         f"recorded reason: {entry.reason}\n"
@@ -53,7 +58,9 @@ def test_corpus_entry_still_reproduces(entry):
 def test_corpus_replay_is_deterministic(entry):
     """Two replays of the same trace must agree event for event — the
     property the whole record/replay corpus rests on."""
-    first = replay_entry(entry)
+    # Deliberately one cached and one cache-less replay: the context
+    # must be a pure accelerator, never a semantic knob.
+    first = replay_entry(entry, ctx=REPLAY_CTX)
     second = replay_entry(entry)
     assert first.ok and second.ok
     assert first.violation.reason == second.violation.reason
