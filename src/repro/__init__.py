@@ -19,7 +19,11 @@ processes"* (PODC 2025; arXiv:2504.09805). The library provides:
   (``repro.mp``),
 * the experiment harness behind ``EXPERIMENTS.md`` (``repro.analysis``),
 * a schedule-space exploration engine — bounded systematic search, swarm
-  fuzzing, counterexample shrinking (``repro.explore``), and
+  fuzzing, counterexample shrinking (``repro.explore``),
+* a unified scenario registry — declarative records (topology, family,
+  adversary, workload, oracle binding, expected verdict) that the
+  campaign, explorer, bench and corpus all derive their scenarios from
+  (``repro.scenarios``), and
 * a differential conformance campaign layer with a persistent,
   replayable violation corpus (``repro.campaign``).
 

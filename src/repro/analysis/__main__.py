@@ -9,6 +9,7 @@ Usage::
     python -m repro.analysis explore --budget 200 --f 2
     python -m repro.analysis campaign --smoke   # differential campaign
     python -m repro.analysis bench --smoke      # perf-regression matrix
+    python -m repro.analysis scenarios --list   # unified scenario registry
 
 This is the no-pytest path to EXPERIMENTS.md's tables — useful for
 quick inspection or for environments without pytest-benchmark. Each
@@ -166,6 +167,121 @@ def _list_experiments() -> int:
     print("explore  schedule-space exploration (see `explore --help`)")
     print("campaign differential conformance campaign (see `campaign --help`)")
     print("bench    perf-regression benchmark matrix (see `bench --help`)")
+    print("scenarios unified scenario registry listing (see `scenarios --help`)")
+    return 0
+
+
+def _scenarios_main(argv: Sequence[str]) -> int:
+    """The ``scenarios`` subcommand: enumerate the unified registry."""
+    import json
+
+    from repro import scenarios as registry
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis scenarios",
+        description=(
+            "List the unified scenario registry: every record's "
+            "coordinates (family, n, f, engine, adversary/workload "
+            "params), its pinned differential expectation, and which "
+            "consumers (campaign / explore / bench / smoke) include it."
+        ),
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the registry table (the default action)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the records as JSON instead of a table",
+    )
+    parser.add_argument(
+        "--consumer",
+        choices=registry.CONSUMERS,
+        default=None,
+        help="only records a given consumer includes",
+    )
+    parser.add_argument(
+        "--family",
+        action="append",
+        default=None,
+        metavar="FAMILY",
+        help="restrict to an implementation family (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.family:
+        known = registry.registered_families()
+        for family in args.family:
+            if family not in known:
+                parser.error(
+                    f"unknown family {family!r}; known: {', '.join(known)}"
+                )
+    records = registry.grid(consumer=args.consumer, families=args.family)
+
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "label": record.label(),
+                        "family": record.family,
+                        "n": record.n,
+                        "f": record.f,
+                        "scenario": record.spec.name,
+                        "params": dict(record.spec.params),
+                        "engine": record.engine,
+                        "expect_violation": record.expect_violation,
+                        "consumers": list(record.consumers),
+                        "fingerprint": record.fingerprint(),
+                    }
+                    for record in records
+                ],
+                indent=2,
+                sort_keys=True,
+                default=repr,
+            )
+        )
+        return 0
+
+    headers = (
+        "family",
+        "scenario",
+        "n",
+        "f",
+        "engine",
+        "expected",
+        "consumers",
+        "fingerprint",
+    )
+    rows = [
+        (
+            record.family,
+            record.spec.label(),
+            record.n,
+            record.f,
+            record.engine,
+            "violation" if record.expect_violation else "clean",
+            ",".join(record.consumers),
+            record.fingerprint(),
+        )
+        for record in records
+    ]
+    print(
+        render_table(
+            headers,
+            rows,
+            title=f"Scenario registry — {len(records)} record(s)",
+        )
+    )
+    print()
+    families = registry.registered_families()
+    print(
+        f"{len(records)} record(s) across {len(families)} famil"
+        f"{'y' if len(families) == 1 else 'ies'}; resolve one with "
+        f"repro.scenarios.resolve(label)"
+    )
     return 0
 
 
@@ -522,6 +638,8 @@ def main(argv: Sequence[str]) -> int:
         return _explore_main(list(argv[1:]))
     if argv and argv[0].lower() == "campaign":
         return _campaign_main(list(argv[1:]))
+    if argv and argv[0].lower() == "scenarios":
+        return _scenarios_main(list(argv[1:]))
     if argv and argv[0].lower() == "bench":
         from repro.analysis.bench import main as bench_main
 

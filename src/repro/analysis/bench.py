@@ -350,6 +350,47 @@ def _bench_campaign_cell(smoke: bool) -> Dict[str, float]:
     return {"runs_per_s": outcome.runs_per_sec}
 
 
+def _bench_campaign_apps(smoke: bool) -> Dict[str, float]:
+    """App-scenario throughput: the registry's clean ``n = 3f + 1`` cells.
+
+    Runs the snapshot and asset-transfer bench records (the clean
+    boundary cells the default campaign pins) through the campaign
+    runner and reports their pooled runs/s — the trajectory cell that
+    tracks app-level scenario cost from the registry PR onward. App
+    runs are an order of magnitude heavier than register runs (nested
+    scans / log collects over many backing registers), so this cell
+    gets its own budget rather than the register cell's.
+    """
+    from repro.campaign import run_campaign
+    from repro.campaign.matrix import CampaignCell
+    from repro.scenarios import grid
+
+    records = [
+        record
+        for record in grid(consumer="bench", expect_violation=False)
+        if record.family in ("snapshot", "asset_transfer") and record.n == 4
+    ]
+    if not records:
+        raise RuntimeError("bench workload drifted: no clean app records")
+    cells = [
+        CampaignCell(
+            implementation=record.family,
+            scenario=record.spec,
+            engine=record.engine,
+            budget=6 if smoke else 24,
+            expect_violation=False,
+        )
+        for record in records
+    ]
+    report = run_campaign(cells, shards=1, shrink_violations=False, corpus_dir=None)
+    for outcome in report.outcomes:
+        if not outcome.ok:
+            raise RuntimeError(
+                f"bench app cell mismatched: {outcome.describe()}"
+            )
+    return {"runs_per_s": report.runs_per_sec}
+
+
 #: The fixed matrix: name -> zero-arg driver returning the cell metrics.
 #: Drivers are lazy so :func:`run_bench` can calibrate *per cell*.
 def _matrix(smoke: bool) -> List[Tuple[str, Any]]:
@@ -362,6 +403,7 @@ def _matrix(smoke: bool) -> List[Tuple[str, Any]]:
         ("spec.linearize", lambda: _bench_spec_linearize(smoke)),
         ("spec.byzantine_complete", lambda: _bench_spec_byzantine(smoke)),
         ("campaign.cell", lambda: _bench_campaign_cell(smoke)),
+        ("campaign.apps", lambda: _bench_campaign_apps(smoke)),
     ]
     # Fork-engine crossover probe: only meaningful (and only run) where
     # forked siblings can actually overlap. CI's multi-core runners

@@ -52,6 +52,7 @@ from repro.mp import (
     translate,
     translated_help,
 )
+from repro.scenarios.sweeps import SWEEP_ADVERSARIES
 from repro.sim import (
     FunctionClient,
     OpCall,
@@ -74,31 +75,10 @@ Rows = List[Sequence[Any]]
 # ----------------------------------------------------------------------
 # E1–E3: correctness sweeps for Algorithms 1–3 (Theorems 14, 20, 25)
 # ----------------------------------------------------------------------
-#: The adversary mixes each sweep cycles through, per register kind.
-SWEEP_ADVERSARIES: Dict[str, List[Tuple[str, Dict[int, str]]]] = {
-    "verifiable": [
-        ("none", {}),
-        ("deny", {}),
-        ("equivocate", {}),
-        ("none", {2: "lying"}),
-        ("none", {3: "flipflop"}),
-        ("garbage", {2: "garbage"}),
-    ],
-    "authenticated": [
-        ("none", {}),
-        ("deny", {}),
-        ("none", {2: "lying"}),
-        ("none", {3: "stonewall"}),
-        ("garbage", {2: "garbage"}),
-    ],
-    "sticky": [
-        ("none", {}),
-        ("equivocate", {}),
-        ("none", {2: "lying"}),
-        ("silent", {}),
-        ("garbage", {2: "garbage"}),
-    ],
-}
+# The adversary mixes each sweep cycles through are owned by the unified
+# scenario registry — one source for these sweeps, the explorer's
+# adversary_grid and the campaign's register cells — and imported above
+# under the historical name (see repro.scenarios.sweeps).
 
 
 def correctness_sweep(

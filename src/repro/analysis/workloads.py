@@ -32,6 +32,7 @@ from repro.core import (
     VerifiableRegister,
 )
 from repro.errors import ConfigurationError, EarlyExitInterrupt
+from repro.scenarios.bindings import checker_for_kind, monitor_family_for_kind
 from repro.sim import (
     OpCall,
     RandomScheduler,
@@ -44,27 +45,12 @@ from repro.spec import (
     ByzantineVerdict,
     CheckContext,
     PropertyReport,
-    check_authenticated,
-    check_authenticated_properties,
-    check_sticky,
-    check_sticky_properties,
-    check_verifiable,
-    check_verifiable_properties,
 )
 from repro.spec.properties import EarlyPropertyMonitor
 
-#: Register kind -> the property-monitor family it is judged against
-#: (the signed baseline and naive strawman implement the verifiable
-#: register's spec, mirroring :func:`checker_for`).
-_MONITOR_FAMILY = {
-    "verifiable": "verifiable",
-    "signed": "verifiable",
-    "naive-quorum": "verifiable",
-    "authenticated": "authenticated",
-    "sticky": "sticky",
-}
-
-#: Register kinds accepted throughout the analysis layer.
+#: Register kinds accepted throughout the analysis layer (one per
+#: register-family oracle binding in ``repro.scenarios.bindings``; the
+#: registry tests pin the two in sync).
 REGISTER_KINDS = ("verifiable", "authenticated", "sticky", "signed", "naive-quorum")
 
 
@@ -97,16 +83,15 @@ def make_register(
 def checker_for(kind: str) -> Tuple[Callable, Callable]:
     """(property-checker, byzantine-linearizability-checker) for ``kind``.
 
-    The signed baseline and the naive-quorum ablation reuse the
-    verifiable register's specification — they implement the same object.
+    A view over the registry's one family→oracle table
+    (:func:`repro.scenarios.bindings.checker_for_kind`) — the same
+    binding ``repro.campaign.oracle_for`` renders as a sequential spec,
+    so the two can never drift apart. The differential shape lives
+    there: the signed baseline and the naive-quorum ablation reuse the
+    verifiable register's specification — they implement the same
+    object.
     """
-    if kind in ("verifiable", "signed", "naive-quorum"):
-        return check_verifiable_properties, check_verifiable
-    if kind == "authenticated":
-        return check_authenticated_properties, check_authenticated
-    if kind == "sticky":
-        return check_sticky_properties, check_sticky
-    raise ConfigurationError(f"unknown register kind {kind!r}")
+    return checker_for_kind(kind)
 
 
 # ----------------------------------------------------------------------
@@ -499,7 +484,7 @@ def prepare_register_scenario(
     if early_exit:
         monitor = EarlyPropertyMonitor(
             system.history,
-            _MONITOR_FAMILY[kind],
+            monitor_family_for_kind(kind),
             system.correct,
             register.name,
             writer=register.writer,

@@ -39,7 +39,6 @@ from repro.campaign.corpus import (
 )
 from repro.campaign.matrix import (
     ENGINES,
-    IMPLEMENTATIONS,
     CampaignCell,
     CampaignReport,
     CellOutcome,
@@ -47,6 +46,18 @@ from repro.campaign.matrix import (
     oracle_for,
     run_campaign,
 )
+
+
+def __getattr__(name: str):
+    # IMPLEMENTATIONS is registry-derived and computed on access (see
+    # repro.campaign.matrix.__getattr__) — a static re-import here
+    # would snapshot it and hide later registrations.
+    if name == "IMPLEMENTATIONS":
+        from repro.campaign import matrix
+
+        return matrix.IMPLEMENTATIONS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "CORPUS_VERSION",

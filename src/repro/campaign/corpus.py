@@ -33,8 +33,9 @@ from typing import Any, List, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError, SchedulerError
 from repro.explore.explorer import execute_trace
-from repro.explore.scenarios import SCENARIO_BUILDERS, Scenario, Violation
+from repro.explore.scenarios import Scenario, Violation
 from repro.explore.shrink import ShrunkViolation, render_script_source
+from repro.scenarios.registry import known_scenarios, resolve_spec
 
 #: Corpus on-disk format version; bump on incompatible layout changes.
 #: The loader rejects entries from other versions loudly instead of
@@ -77,8 +78,13 @@ class CorpusEntry:
     version: int = CORPUS_VERSION
 
     def scenario_spec(self) -> Scenario:
-        """The scenario this entry replays against."""
-        return Scenario(name=self.scenario, params=self.params)
+        """The scenario this entry replays against.
+
+        Resolved through the unified registry: the recorded params are
+        preserved verbatim (labels and fingerprints were derived from
+        them), and the scenario name must still be a registered builder.
+        """
+        return resolve_spec(self.scenario, self.params)
 
     def file_name(self) -> str:
         """Stable corpus file name for this entry."""
@@ -123,10 +129,10 @@ class CorpusEntry:
                 f"understands version {CORPUS_VERSION}"
             )
         scenario = data["scenario"]
-        if scenario not in SCENARIO_BUILDERS:
+        if scenario not in known_scenarios():
             raise ConfigurationError(
                 f"corpus entry references unknown scenario {scenario!r}; "
-                f"known: {', '.join(sorted(SCENARIO_BUILDERS))}"
+                f"known: {', '.join(known_scenarios())}"
             )
         return cls(
             entry_id=data["entry_id"],

@@ -39,63 +39,44 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.errors import ConfigurationError, SchedulerError
 from repro.explore.explorer import explore
 from repro.explore.fuzzer import default_shards, fuzz, pool_context
-from repro.explore.scenarios import Scenario, Violation, adversary_grid, make_scenario
+from repro.explore.scenarios import Scenario, Violation
 from repro.explore.shrink import ShrunkViolation, shrink
-from repro.spec.sequential import (
-    AuthenticatedRegisterSpec,
-    SequentialSpec,
-    StickyRegisterSpec,
-    TestOrSetSpec,
-    VerifiableRegisterSpec,
-)
+from repro.scenarios import bindings as _bindings
+from repro.scenarios import registry as _registry
+from repro.spec.sequential import SequentialSpec
 from repro.campaign.corpus import entry_from_shrunk, save_entry
 
-#: The six ``repro.core`` implementation families a campaign covers.
-IMPLEMENTATIONS = (
-    "naive",
-    "sticky",
-    "test_or_set",
-    "authenticated",
-    "verifiable",
-    "signature_baseline",
-)
+# Engines a cell may run: seeded swarm fuzzing or bounded systematic
+# search (see ``repro.explore``); owned by the registry.
+from repro.scenarios.registry import ENGINES  # noqa: F401  (re-export)
 
-#: Implementation family -> register kind of the workload scenario
-#: (test_or_set runs the Theorem 29 scenario instead).
-_REGISTER_KIND = {
-    "naive": "naive-quorum",
-    "sticky": "sticky",
-    "authenticated": "authenticated",
-    "verifiable": "verifiable",
-    "signature_baseline": "signed",
-}
 
-#: Engines a cell may run: seeded swarm fuzzing or bounded systematic
-#: search (see ``repro.explore``).
-ENGINES = ("swarm", "systematic")
+def __getattr__(name: str):
+    # ``IMPLEMENTATIONS`` — the implementation families the default
+    # campaign covers: every family with at least one record in the
+    # unified scenario registry (the six ``repro.core`` families plus
+    # the paper-level applications). Computed on attribute access, not
+    # snapshotted at import: families registered later through the
+    # public ``repro.scenarios.register`` API must show up, and the
+    # module stays importable without forcing the full catalog load.
+    if name == "IMPLEMENTATIONS":
+        return _registry.registered_families()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def oracle_for(implementation: str, initial: int = 0) -> SequentialSpec:
     """The sequential specification a cell's runs are judged against.
 
-    This is the differential side of the campaign: the naive strawman
-    and the signature baseline are checked against the *same*
-    :class:`VerifiableRegisterSpec` as Algorithm 1 — they implement the
-    same object, so any observable divergence is a conformance
-    violation of that implementation, not a different spec.
+    A thin view over the registry's one family→oracle table
+    (:mod:`repro.scenarios.bindings`) — the same binding the runtime
+    checkers and the early-exit monitors derive from, so the two can
+    never drift apart. The differential shape lives there: the naive
+    strawman and the signature baseline are checked against the *same*
+    :class:`repro.spec.VerifiableRegisterSpec` as Algorithm 1 — they
+    implement the same object, so any observable divergence is a
+    conformance violation of that implementation, not a different spec.
     """
-    if implementation in ("naive", "verifiable", "signature_baseline"):
-        return VerifiableRegisterSpec(initial=initial)
-    if implementation == "authenticated":
-        return AuthenticatedRegisterSpec(initial=initial)
-    if implementation == "sticky":
-        return StickyRegisterSpec()
-    if implementation == "test_or_set":
-        return TestOrSetSpec()
-    raise ConfigurationError(
-        f"unknown implementation {implementation!r}; "
-        f"known: {', '.join(IMPLEMENTATIONS)}"
-    )
+    return _bindings.oracle_for(implementation, initial=initial)
 
 
 @dataclass(frozen=True)
@@ -233,19 +214,29 @@ def default_matrix(
     systematic_budget: Optional[int] = None,
     implementations: Optional[Sequence[str]] = None,
 ) -> List[CampaignCell]:
-    """The standard campaign matrix over all six implementations.
+    """The standard campaign matrix: a query over the scenario registry.
 
-    ``smoke`` shrinks the budgets and adversary grids to a bounded
-    matrix that still covers every implementation and both known
-    violating configurations (CI runs it on every push). Budgets can be
-    overridden per engine; ``implementations`` filters the families.
+    Every record with the ``campaign`` consumer (``smoke`` for the
+    bounded CI subset) expands to one cell, in registration order —
+    Algorithms 1–3 under the E1–E3 adversary grids, the signature
+    baseline, the naive strawman (with its known-violating flip-flop
+    cell), the Theorem 29 boundary through both engines, the
+    campaign-growth adversary mixes, and the application cells
+    (snapshot, asset transfer) at both fault boundaries. Budgets can be
+    overridden per engine; ``implementations`` filters the families;
+    ``seed0`` re-pins every seeded workload.
+
+    Budgets are honored exactly — a caller-chosen budget too small to
+    find an expected violation fails the campaign loudly rather than
+    being silently floored.
     """
-    wanted = tuple(implementations) if implementations else IMPLEMENTATIONS
+    families = _registry.registered_families()
+    wanted = tuple(implementations) if implementations else families
     for implementation in wanted:
-        if implementation not in IMPLEMENTATIONS:
+        if implementation not in families:
             raise ConfigurationError(
                 f"unknown implementation {implementation!r}; "
-                f"known: {', '.join(IMPLEMENTATIONS)}"
+                f"known: {', '.join(families)}"
             )
     swarm = (24 if smoke else 150) if swarm_budget is None else swarm_budget
     systematic = (
@@ -253,100 +244,21 @@ def default_matrix(
     )
     if swarm < 1 or systematic < 1:
         raise ConfigurationError("cell budgets must be >= 1")
-    mixes = 2 if smoke else None
     cells: List[CampaignCell] = []
-
-    # Algorithms 1-3: the paper proves them correct; every adversary mix
-    # of the E1-E3 sweeps must come back clean under swarm schedules.
-    for implementation in ("verifiable", "authenticated", "sticky"):
-        if implementation not in wanted:
+    for record in _registry.grid(consumer="smoke" if smoke else "campaign"):
+        if record.family not in wanted:
             continue
-        kind = _REGISTER_KIND[implementation]
-        for scenario in adversary_grid(kind, n=4, seeds=(seed0,))[:mixes]:
-            cells.append(
-                CampaignCell(
-                    implementation=implementation,
-                    scenario=scenario,
-                    engine="swarm",
-                    budget=swarm,
-                    expect_violation=False,
-                    seed0=seed0,
-                )
+        record = record.seeded(seed0)
+        cells.append(
+            CampaignCell(
+                implementation=record.family,
+                scenario=record.spec,
+                engine=record.engine,
+                budget=swarm if record.engine == "swarm" else systematic,
+                expect_violation=record.expect_violation,
+                seed0=seed0,
             )
-
-    # The signature-based baseline implements the same verifiable-register
-    # spec; it must match Algorithm 1's clean verdicts.
-    if "signature_baseline" in wanted:
-        for readers in ((), ((4, "silent"),)):
-            cells.append(
-                CampaignCell(
-                    implementation="signature_baseline",
-                    scenario=make_scenario(
-                        "register",
-                        kind=_REGISTER_KIND["signature_baseline"],
-                        n=4,
-                        seed=seed0,
-                        reader_adversaries=readers,
-                    ),
-                    engine="swarm",
-                    budget=swarm,
-                    expect_violation=False,
-                    seed0=seed0,
-                )
-            )
-
-    # The naive strawman: clean without an adversary, but the flip-flop
-    # collusion (Section 5.1 / E11) must break its Verify — a
-    # known-violating configuration the corpus records.
-    if "naive" in wanted:
-        for readers, expect in (((), False), (((4, "flipflop"),), True)):
-            cells.append(
-                CampaignCell(
-                    implementation="naive",
-                    scenario=make_scenario(
-                        "register",
-                        kind=_REGISTER_KIND["naive"],
-                        n=4,
-                        seed=seed0,
-                        reader_adversaries=readers,
-                    ),
-                    engine="swarm",
-                    budget=swarm,
-                    expect_violation=expect,
-                    seed0=seed0,
-                )
-            )
-
-    # Test-or-set at the Theorem 29 boundary, through both engines:
-    # violating at n = 3f, clean at n = 3f + 1.
-    if "test_or_set" in wanted:
-        violating = make_scenario("theorem29", f=1)
-        control = make_scenario("theorem29", f=1, extra_correct=True)
-        for engine in ENGINES:
-            # Budgets are honored exactly — a caller-chosen budget too
-            # small to find the expected violation fails the campaign
-            # loudly rather than being silently floored.
-            budget = swarm if engine == "swarm" else systematic
-            cells.append(
-                CampaignCell(
-                    implementation="test_or_set",
-                    scenario=violating,
-                    engine=engine,
-                    budget=budget,
-                    expect_violation=True,
-                    seed0=seed0,
-                )
-            )
-            cells.append(
-                CampaignCell(
-                    implementation="test_or_set",
-                    scenario=control,
-                    engine=engine,
-                    budget=budget,
-                    expect_violation=False,
-                    seed0=seed0,
-                )
-            )
+        )
     return cells
 
 

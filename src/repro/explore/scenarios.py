@@ -6,12 +6,16 @@ search, :mod:`repro.explore.fuzzer` swarm campaigns, and the
 feed schedulers into a *scenario* and ask it whether the produced
 history violates the object's specification. A scenario is therefore a
 picklable ``(name, params)`` spec — workers in other processes rebuild
-it from the registry — whose :meth:`Scenario.build` returns a
-:class:`BuiltScenario`: the freshly constructed :class:`System`, a
-``drive`` callable that runs it to completion, and a ``check`` callable
-returning a violation reason (or ``None``).
+it from the unified registry (:mod:`repro.scenarios.registry`, which
+owns the :class:`Scenario` type and the name → builder table; this
+module re-exports both and registers its builders there) — whose
+:meth:`Scenario.build` returns a :class:`BuiltScenario`: the freshly
+constructed :class:`System`, a ``drive`` callable that runs it to
+completion, and a ``check`` callable returning a violation reason (or
+``None``).
 
-Two scenario families ship in-tree:
+Two scenario families live in this module (the application scenarios —
+snapshot, asset transfer — are in :mod:`repro.scenarios.apps`):
 
 * ``theorem29`` — the Figure 1 cast (setter / pa / pb / Q1–Q3) around
   the :class:`QuorumTestOrSet` candidate, with the Byzantine group's
@@ -48,6 +52,12 @@ from repro.sim import (
 )
 from repro.sim.effects import PAUSE
 from repro.sim.scheduler import Scheduler
+from repro.scenarios.registry import (
+    Scenario,
+    SCENARIO_BUILDERS,
+    make_scenario,
+    register_builder,
+)
 from repro.spec.byzantine import check_test_or_set
 from repro.spec.context import CheckContext
 from repro.spec.properties import EarlyPropertyMonitor, check_test_or_set_properties
@@ -95,54 +105,6 @@ class BuiltScenario:
     drive: Callable[[], None]
     #: Inspect the finished history; violation reason or None.
     check: Callable[[], Optional[str]]
-
-
-@dataclass(frozen=True)
-class Scenario:
-    """Picklable scenario spec: a registry name plus keyword parameters."""
-
-    name: str
-    params: Tuple[Tuple[str, Any], ...] = ()
-
-    def build(
-        self,
-        scheduler: Scheduler,
-        ctx: Optional[CheckContext] = None,
-        early_exit: bool = False,
-    ) -> BuiltScenario:
-        """Construct a fresh run of this scenario under ``scheduler``.
-
-        ``ctx`` shares the oracle layer's memo caches across runs;
-        ``early_exit`` arms the incremental property monitor so the run
-        stops as soon as its partial history is irrecoverably violating
-        (verdict-preserving: the final check on the truncated history
-        reports the violation).
-        """
-        builder = SCENARIO_BUILDERS.get(self.name)
-        if builder is None:
-            raise ConfigurationError(
-                f"unknown scenario {self.name!r}; "
-                f"known: {', '.join(sorted(SCENARIO_BUILDERS))}"
-            )
-        return builder(
-            scheduler, ctx=ctx, early_exit=early_exit, **dict(self.params)
-        )
-
-    def label(self) -> str:
-        """Human-readable spec rendering for tables and reports."""
-        if not self.params:
-            return self.name
-        rendered = ",".join(f"{k}={v}" for k, v in self.params)
-        return f"{self.name}({rendered})"
-
-
-def make_scenario(name: str, **params: Any) -> Scenario:
-    """Build a :class:`Scenario` spec, validating the name eagerly."""
-    if name not in SCENARIO_BUILDERS:
-        raise ConfigurationError(
-            f"unknown scenario {name!r}; known: {', '.join(sorted(SCENARIO_BUILDERS))}"
-        )
-    return Scenario(name=name, params=tuple(sorted(params.items())))
 
 
 # ----------------------------------------------------------------------
@@ -351,36 +313,44 @@ def _build_register(
     return BuiltScenario(system=prepared.system, drive=drive, check=check)
 
 
-#: Registry of scenario builders, keyed by spec name. Builders must be
-#: importable from worker processes (top level of this module).
-SCENARIO_BUILDERS: Dict[str, Callable[..., BuiltScenario]] = {
-    "theorem29": _build_theorem29,
-    "register": _build_register,
-}
+# Builders register into the unified registry (repro.scenarios.registry);
+# they must stay importable from worker processes (top level of this
+# module), because pool workers re-resolve specs by name.
+register_builder("theorem29", _build_theorem29)
+register_builder("register", _build_register)
 
 
 def adversary_grid(
-    kind: str = "verifiable", n: int = 4, seeds: Sequence[int] = (0, 1)
+    kind: str = "verifiable",
+    n: int = 4,
+    seeds: Sequence[int] = (0, 1),
+    mixes: Optional[Sequence[Tuple[str, Dict[int, str]]]] = None,
 ) -> List[Scenario]:
     """Scenario specs cycling register adversary behaviour combinations.
 
     The swarm fuzzer fans these across cores: each spec pairs a seeded
     workload with one adversary mix from the E1–E3 sweeps (the
-    behaviour-combination axis of a swarm campaign, orthogonal to the
-    schedule axis). Mixes whose Byzantine head-count exceeds the fault
-    bound for this ``n`` are dropped, as in ``correctness_sweep``.
+    registry-owned behaviour-combination axis of a swarm campaign,
+    orthogonal to the schedule axis). Mixes whose Byzantine head-count
+    exceeds the fault bound for this ``n`` are dropped, as in
+    ``correctness_sweep``. ``mixes`` overrides the sweep table — the
+    catalog expands its campaign-growth grids
+    (``repro.scenarios.sweeps.EXTRA_SWEEP_ADVERSARIES``) through the
+    same filter and spec construction by passing them here.
     """
-    from repro.analysis.experiments import SWEEP_ADVERSARIES
+    from repro.scenarios.sweeps import SWEEP_ADVERSARIES
 
-    if kind not in SWEEP_ADVERSARIES:
-        raise ConfigurationError(
-            f"no adversary sweep for register kind {kind!r}; "
-            f"known: {', '.join(sorted(SWEEP_ADVERSARIES))}"
-        )
+    if mixes is None:
+        if kind not in SWEEP_ADVERSARIES:
+            raise ConfigurationError(
+                f"no adversary sweep for register kind {kind!r}; "
+                f"known: {', '.join(sorted(SWEEP_ADVERSARIES))}"
+            )
+        mixes = SWEEP_ADVERSARIES[kind]
     f = (n - 1) // 3
     specs = []
     for seed in seeds:
-        for writer_adversary, reader_adversaries in SWEEP_ADVERSARIES[kind]:
+        for writer_adversary, reader_adversaries in mixes:
             readers = {
                 pid: name
                 for pid, name in reader_adversaries.items()

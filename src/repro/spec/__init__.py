@@ -31,15 +31,18 @@ from repro.spec.properties import (
     check_verifiable_properties,
 )
 from repro.spec.sequential import (
+    AssetTransferSpec,
     AuthenticatedRegisterSpec,
     RegularRegisterSpec,
     SequentialSpec,
+    SnapshotSpec,
     StickyRegisterSpec,
     TestOrSetSpec,
     VerifiableRegisterSpec,
 )
 
 __all__ = [
+    "AssetTransferSpec",
     "AuthenticatedRegisterSpec",
     "ByzantineVerdict",
     "CheckContext",
@@ -48,6 +51,7 @@ __all__ = [
     "PropertyReport",
     "RegularRegisterSpec",
     "SequentialSpec",
+    "SnapshotSpec",
     "StickyRegisterSpec",
     "TestOrSetSpec",
     "VerifiableRegisterSpec",

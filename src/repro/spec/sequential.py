@@ -13,6 +13,16 @@ Specs implemented:
 * :class:`AuthenticatedRegisterSpec` — Definition 15.
 * :class:`StickyRegisterSpec` — Definition 21.
 * :class:`TestOrSetSpec` — Definition 26.
+* :class:`SnapshotSpec` — the atomic-snapshot object of the Section 1
+  applications (one segment per tracked process).
+* :class:`AssetTransferSpec` — the asset-transfer object (accounts with
+  single-owner spending).
+
+The two application specs are *caller-indexed*: ``update``/``transfer``
+take the acting pid as their first spec argument, because a sequential
+snapshot/asset-transfer state transition depends on who acts. The
+scenario layer rewrites history records accordingly before checking
+(see ``repro.scenarios.apps``).
 
 All states are immutable (hashable) so the checker can memoize on
 ``(linearized-set, state)`` pairs.
@@ -188,3 +198,93 @@ class TestOrSetSpec(SequentialSpec):
         if op == "test":
             return state, state
         raise ValueError(f"test-or-set has no operation {op!r}")
+
+
+@dataclass(frozen=True)
+class SnapshotSpec(SequentialSpec):
+    """Atomic snapshot over the tracked ``pids`` (one segment each).
+
+    State is a tuple of ``(seq, value)`` per tracked pid, in ``pids``
+    order; ``seq`` counts that pid's updates (0 = never updated, the
+    implementation's convention):
+
+    * ``update(pid, v)`` -> ``done``; segment[pid] := (seq + 1, v)
+    * ``scan()``         -> the whole state tuple
+
+    Only *tracked* pids may update — the scenario layer restricts
+    histories to the correct processes and projects scan views onto
+    them, so a Byzantine segment never has to be explained by the spec.
+    """
+
+    pids: Tuple[int, ...] = ()
+
+    def initial_state(self) -> Hashable:
+        return tuple((0, None) for _ in self.pids)
+
+    def apply(self, state, op, args):
+        if op == "update":
+            pid, value = args
+            try:
+                index = self.pids.index(pid)
+            except ValueError:
+                raise ValueError(f"snapshot does not track pid {pid}")
+            seq, _old = state[index]
+            segment = (seq + 1, freeze(value))
+            return (
+                state[:index] + (segment,) + state[index + 1:],
+                DONE,
+            )
+        if op == "scan":
+            return state, state
+        raise ValueError(f"snapshot has no operation {op!r}")
+
+
+@dataclass(frozen=True)
+class AssetTransferSpec(SequentialSpec):
+    """Asset transfer over the tracked ``accounts``.
+
+    State is a tuple of balances, one per tracked account in
+    ``accounts`` order (initial balances in ``initial``):
+
+    * ``transfer(owner, to, amount)`` -> ``"ok"`` and move ``amount``
+      when the owner's balance covers it, else ``"rejected"`` with no
+      state change (the solvency check of a correct owner).
+    * ``balance(account)`` -> the account's current balance.
+
+    Only tracked accounts appear — the scenario layer keeps correct
+    clients' transfers and queries inside the correct set, and Byzantine
+    adversaries are given behaviours that cannot mint valid credits
+    (garbage log slots parse as malformed), so the restricted history is
+    explainable by this spec exactly when the object is linearizable
+    for the correct processes.
+    """
+
+    accounts: Tuple[int, ...] = ()
+    initial: Tuple[int, ...] = ()
+
+    def initial_state(self) -> Hashable:
+        return tuple(self.initial)
+
+    def _index(self, account: Any) -> int:
+        try:
+            return self.accounts.index(account)
+        except ValueError:
+            raise ValueError(f"asset transfer does not track account {account}")
+
+    def apply(self, state, op, args):
+        if op == "transfer":
+            owner, to, amount = args
+            source = self._index(owner)
+            target = self._index(to)
+            if not isinstance(amount, int) or amount <= 0:
+                raise ValueError(f"bad transfer amount {amount!r}")
+            if state[source] < amount:
+                return state, "rejected"
+            balances = list(state)
+            balances[source] -= amount
+            balances[target] += amount
+            return tuple(balances), "ok"
+        if op == "balance":
+            (account,) = args
+            return state, state[self._index(account)]
+        raise ValueError(f"asset transfer has no operation {op!r}")

@@ -108,19 +108,23 @@ class TestMatrix:
 
     def test_oracle_mapping_agrees_with_the_runtime_checkers(self):
         # oracle_for documents what the campaign checks; the register
-        # cells are actually judged through workloads.checker_for. Two
-        # implementations share an oracle iff their kinds share a
-        # checker pair — this pins the two mappings together so they
-        # cannot drift independently.
+        # cells are actually judged through workloads.checker_for. Both
+        # are views over the registry's one family→oracle table now
+        # (repro.scenarios.bindings), so two implementations share an
+        # oracle iff their kinds share a checker pair.
         from repro.analysis.workloads import checker_for
-        from repro.campaign.matrix import _REGISTER_KIND
+        from repro.scenarios import FAMILY_BINDINGS, kind_for
 
-        register_impls = sorted(_REGISTER_KIND)
+        register_impls = sorted(
+            family
+            for family, binding in FAMILY_BINDINGS.items()
+            if binding.kind is not None
+        )
         for a in register_impls:
             for b in register_impls:
                 same_oracle = type(oracle_for(a)) is type(oracle_for(b))
-                same_checker = checker_for(_REGISTER_KIND[a]) == checker_for(
-                    _REGISTER_KIND[b]
+                same_checker = checker_for(kind_for(a)) == checker_for(
+                    kind_for(b)
                 )
                 assert same_oracle == same_checker, (a, b)
 
