@@ -8,6 +8,9 @@ Usage::
     python -m repro.analysis explore         # schedule-space exploration
     python -m repro.analysis explore --budget 200 --f 2
     python -m repro.analysis campaign --smoke   # differential campaign
+    python -m repro.analysis campaign --submit --smoke   # enqueue a run...
+    python -m repro.analysis campaign --worker           # ...lease + execute it
+    python -m repro.analysis campaign --status           # ...verdicts + drift
     python -m repro.analysis bench --smoke      # perf-regression matrix
     python -m repro.analysis scenarios --list   # unified scenario registry
 
@@ -28,7 +31,12 @@ conformance matrix over every ``repro.core`` implementation family,
 with discovered violations shrunk and persisted into the replayable
 ``corpus/`` regression corpus. Exit code 0 means every cell matched
 the paper's expectation (and, with ``--replay``, that every committed
-corpus entry still reproduces).
+corpus entry still reproduces). The one-shot default runs on the
+``repro.service`` substrate (submit + N workers + report, verdicts
+recorded in the results database); ``--submit`` / ``--worker`` /
+``--status`` / ``--watch`` expose the persistent queue directly, so a
+long campaign survives worker crashes and can be drained by workers on
+any host sharing the database.
 
 The ``bench`` subcommand runs the fixed perf-regression matrix
 (``repro.analysis.bench``) and writes ``BENCH_kernel.json``; with
@@ -301,9 +309,9 @@ def _explore_main(argv: Sequence[str]) -> int:
     parser.add_argument(
         "--scenario",
         default="theorem29",
-        choices=("theorem29", "register"),
-        help="what to explore: the Theorem 29 race (default) or the "
-        "randomized register workloads with adversary combinations",
+        help="what to explore: the Theorem 29 race (default), 'register' "
+        "(randomized register workloads with adversary combinations), or "
+        "any scenario-registry record label — see `scenarios --list`",
     )
     parser.add_argument("--f", type=int, default=1, help="fault bound (theorem29)")
     parser.add_argument(
@@ -437,31 +445,85 @@ def _explore_main(argv: Sequence[str]) -> int:
                 print("FAIL: violation found at n = 3f + 1 (control should be clean)")
         return 0 if ok else 1
 
-    # register scenario: fuzz adversary behaviour combinations; the
-    # paper's algorithms must hold, so any violation is a failure.
-    scenarios = adversary_grid(kind=args.kind, n=args.n, seeds=(args.seed, args.seed + 1))
-    print(
-        f"== swarm over {len(scenarios)} {args.kind} register scenario(s), "
-        f"n={args.n} =="
+    if args.scenario == "register":
+        # register scenario: fuzz adversary behaviour combinations; the
+        # paper's algorithms must hold, so any violation is a failure.
+        scenarios = adversary_grid(
+            kind=args.kind, n=args.n, seeds=(args.seed, args.seed + 1)
+        )
+        print(
+            f"== swarm over {len(scenarios)} {args.kind} register scenario(s), "
+            f"n={args.n} =="
+        )
+        found = run_phase(f"{args.kind} n={args.n}", scenarios, expect_violation=False)
+        print()
+        print(
+            render_table(headers, rows, title="Schedule exploration — register workloads")
+        )
+        print()
+        print("PASS: no violations" if not found else "FAIL: violations found")
+        return 0 if not found else 1
+
+    # Anything else is a scenario-registry record label: one record
+    # pins both the scenario spec and the differential expectation to
+    # judge the findings by, so any registered cell is explorable
+    # without growing this parser.
+    from repro import scenarios as registry
+    from repro.errors import ConfigurationError
+
+    try:
+        record = registry.resolve(args.scenario)
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+    expectation = "violation expected" if record.expect_violation else "must be clean"
+    print(f"== registry record {record.label()} ({expectation}) ==")
+    found = run_phase(
+        record.label(), [record.spec], expect_violation=record.expect_violation
     )
-    found = run_phase(f"{args.kind} n={args.n}", scenarios, expect_violation=False)
     print()
-    print(render_table(headers, rows, title="Schedule exploration — register workloads"))
+    print(
+        render_table(
+            headers, rows, title=f"Schedule exploration — {record.label()}"
+        )
+    )
     print()
-    print("PASS: no violations" if not found else "FAIL: violations found")
-    return 0 if not found else 1
+    ok = found == record.expect_violation
+    if ok:
+        print(
+            "PASS: findings match the registry's pinned expectation "
+            f"({expectation})"
+        )
+    else:
+        print(
+            f"FAIL: {'no violation found' if record.expect_violation else 'violation found'} "
+            f"but the registry pins {expectation!r} for {record.label()}"
+        )
+    return 0 if ok else 1
 
 
 def _campaign_main(argv: Sequence[str]) -> int:
-    """The ``campaign`` subcommand: differential matrix + corpus."""
+    """The ``campaign`` subcommand: differential matrix + corpus + service."""
+    import json
+    from pathlib import Path
+
     from repro.campaign import (
         IMPLEMENTATIONS,
         default_corpus_dir,
-        default_matrix,
         load_corpus,
         replay_entry,
-        run_campaign,
     )
+    from repro.errors import ConfigurationError
+    from repro.service import (
+        DEFAULT_LEASE_TTL,
+        ResultsStore,
+        default_db_path,
+        render_status,
+        run_service_campaign,
+        verdicts_payload,
+    )
+    from repro.service import client as service_client
+    from repro.service import queue as service_queue
+    from repro.service.worker import run_worker
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis campaign",
@@ -469,7 +531,9 @@ def _campaign_main(argv: Sequence[str]) -> int:
             "Run a differential conformance campaign: every repro.core "
             "implementation family x scenario x engine, checked against the "
             "repro.spec oracles, with violations shrunk into the replayable "
-            "corpus."
+            "corpus. The default runs one-shot (submit + workers + report "
+            "on the service substrate); --submit/--worker/--status/--watch "
+            "drive the persistent run queue directly."
         ),
     )
     parser.add_argument(
@@ -512,36 +576,100 @@ def _campaign_main(argv: Sequence[str]) -> int:
         help="do not persist shrunk violations",
     )
     parser.add_argument("--no-shrink", action="store_true", help="skip shrinking")
-    parser.add_argument(
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
         "--replay",
         action="store_true",
-        help="replay every committed corpus entry instead of running the matrix",
+        help="replay every committed corpus entry instead of running the "
+        "matrix (verdicts are recorded in the service database's trend "
+        "table)",
+    )
+    mode.add_argument(
+        "--submit",
+        action="store_true",
+        help="enqueue the selected matrix as a persistent run and exit; "
+        "workers pick it up with --worker",
+    )
+    mode.add_argument(
+        "--worker",
+        action="store_true",
+        help="run one leasing worker until the queue drains (start as many "
+        "as you like, on any host sharing the database)",
+    )
+    mode.add_argument(
+        "--status",
+        action="store_true",
+        help="print a run's live status: shard/lease state, per-cell "
+        "verdicts, throughput, and drift vs prior runs",
+    )
+    mode.add_argument(
+        "--watch",
+        action="store_true",
+        help="follow a run, streaming each cell verdict once, until it "
+        "completes",
+    )
+    parser.add_argument(
+        "--db",
+        default=None,
+        metavar="PATH",
+        help="service database (default: benchmarks/_results/service.db)",
+    )
+    parser.add_argument(
+        "--run",
+        default=None,
+        metavar="RUN_ID",
+        help="run id for --worker/--status/--watch (default: latest)",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=DEFAULT_LEASE_TTL,
+        metavar="SECONDS",
+        help=f"shard lease expiry; a worker dead longer than this forfeits "
+        f"its shard back to the queue (default {DEFAULT_LEASE_TTL:.0f})",
+    )
+    parser.add_argument(
+        "--shard-size",
+        type=int,
+        default=1,
+        metavar="CELLS",
+        help="cells per leasable shard (default 1)",
+    )
+    parser.add_argument(
+        "--verdicts",
+        default=None,
+        metavar="PATH",
+        help="write the machine-comparable cell-verdict JSON here "
+        "(one-shot, --status and --watch)",
     )
     args = parser.parse_args(argv)
     if args.budget is not None and args.budget < 1:
         parser.error("--budget must be >= 1")
-    if args.replay:
-        ignored = [
-            flag
-            for flag, given in (
-                ("--smoke", args.smoke),
-                ("--budget", args.budget is not None),
-                ("--shards", args.shards is not None),
-                ("--seed", args.seed is not None),
-                ("--only", bool(args.only)),
-                ("--no-corpus", args.no_corpus),
-                ("--no-shrink", args.no_shrink),
-            )
-            if given
-        ]
-        if ignored:
+    if args.shard_size < 1:
+        parser.error("--shard-size must be >= 1")
+
+    matrix_flags = (
+        ("--smoke", args.smoke),
+        ("--budget", args.budget is not None),
+        ("--shards", args.shards is not None),
+        ("--seed", args.seed is not None),
+        ("--only", bool(args.only)),
+        ("--no-corpus", args.no_corpus),
+        ("--no-shrink", args.no_shrink),
+    )
+
+    def reject_flags(mode_name: str, flags) -> None:
+        given = [flag for flag, on in flags if on]
+        if given:
             parser.error(
-                f"--replay replays the whole corpus and only accepts "
-                f"--corpus; drop {', '.join(ignored)}"
+                f"{mode_name} does not select a matrix; drop {', '.join(given)}"
             )
+
+    db_path = Path(args.db) if args.db else default_db_path()
     corpus_dir = args.corpus or default_corpus_dir()
 
     if args.replay:
+        reject_flags("--replay (it replays the whole corpus)", matrix_flags)
         entries = load_corpus(corpus_dir)
         if not entries:
             # Loud by design: CI replays the committed corpus, and a
@@ -555,18 +683,110 @@ def _campaign_main(argv: Sequence[str]) -> int:
         from repro.spec import CheckContext
 
         replay_ctx = CheckContext()
+        store = ResultsStore(db_path)
         failures = 0
         for entry in entries:
             outcome = replay_entry(entry, ctx=replay_ctx)
-            status = "ok" if outcome.ok else f"FAIL ({outcome.detail})"
-            print(f"replay {entry.label()}: {status}")
+            verdict = "ok" if outcome.ok else f"FAIL ({outcome.detail})"
+            print(f"replay {entry.label()}: {verdict}")
+            # Every replay appends to the trend table, pass or fail:
+            # "when did this entry last reproduce?" needs both.
+            store.record_replay_verdict(
+                entry_id=entry.entry_id,
+                entry_label=entry.label(),
+                fingerprint=entry.fingerprint,
+                ok=outcome.ok,
+                detail=outcome.detail,
+                source="campaign --replay",
+            )
             failures += 0 if outcome.ok else 1
+        store.close()
         print()
+        print(f"recorded {len(entries)} replay verdict(s) in {db_path}")
         if failures:
             print(f"FAIL: {failures}/{len(entries)} corpus entries regressed")
             return 1
         print(f"PASS: all {len(entries)} corpus entries still reproduce")
         return 0
+
+    if args.submit:
+        seed0 = 0 if args.seed is None else args.seed
+        store = ResultsStore(db_path)
+        run_id = service_queue.submit_matrix(
+            store,
+            smoke=args.smoke,
+            seed0=seed0,
+            swarm_budget=args.budget,
+            systematic_budget=4 * args.budget if args.budget else None,
+            implementations=args.only,
+            shard_size=args.shard_size,
+            options={
+                "shrink": not args.no_shrink,
+                "corpus_dir": None if args.no_corpus else str(corpus_dir),
+                "source": (
+                    f"campaign{' --smoke' if args.smoke else ''} "
+                    f"--seed {seed0}"
+                ),
+            },
+        )
+        result = service_client.status(store, run_id, with_drift=False)
+        store.close()
+        print(
+            f"submitted run {run_id}: {result.cells} cell(s) in "
+            f"{result.shards} shard(s) -> {db_path}"
+        )
+        print(
+            f"next: python -m repro.analysis campaign --worker --db {db_path}"
+        )
+        return 0
+
+    if args.worker:
+        reject_flags("--worker (the run pins its matrix)", matrix_flags)
+        try:
+            summary = run_worker(
+                db_path,
+                run_id=args.run,
+                lease_ttl=args.lease_ttl,
+                progress=print,
+            )
+        except ConfigurationError as exc:
+            parser.error(str(exc))
+        print(summary.describe())
+        return 0
+
+    if args.status or args.watch:
+        reject_flags(
+            "--watch" if args.watch else "--status",
+            matrix_flags,
+        )
+        store = ResultsStore(db_path)
+        try:
+            if args.watch:
+                result = service_client.watch(store, args.run, emit=print)
+            else:
+                result = service_client.status(store, args.run)
+        except ConfigurationError as exc:
+            parser.error(str(exc))
+        store.close()
+        print(render_status(result))
+        if args.verdicts:
+            Path(args.verdicts).write_text(
+                json.dumps(verdicts_payload(result), indent=2, sort_keys=True)
+                + "\n"
+            )
+            print(f"wrote {args.verdicts}")
+        if result.mismatched:
+            return 1
+        # An in-flight run without mismatches is healthy so far; a
+        # complete one must also have every cell recorded.
+        return 0 if (not result.complete or result.ok) else 1
+
+    # One-shot: the classic campaign, re-expressed as submit + N inline
+    # workers + report on the service substrate. Verdicts are
+    # byte-identical to the old run_campaign path (both execute through
+    # run_cell); the difference is that they also land in the database,
+    # so the next run can report drift.
+    from repro.campaign import default_matrix
 
     seed0 = 0 if args.seed is None else args.seed
     cells = default_matrix(
@@ -581,9 +801,12 @@ def _campaign_main(argv: Sequence[str]) -> int:
         f"{len({cell.implementation for cell in cells})} implementation "
         f"family(ies) =="
     )
-    report = run_campaign(
+    result = run_service_campaign(
         cells,
-        shards=args.shards,
+        workers=args.shards,
+        db=db_path,
+        shard_size=args.shard_size,
+        lease_ttl=args.lease_ttl,
         progress=print,
         shrink_violations=not args.no_shrink,
         corpus_dir=None if args.no_corpus else corpus_dir,
@@ -600,33 +823,47 @@ def _campaign_main(argv: Sequence[str]) -> int:
         "expected",
         "ok",
     )
-    rows = [
-        (
-            outcome.cell.implementation,
-            outcome.cell.scenario.label(),
-            outcome.cell.engine,
-            outcome.runs,
-            round(outcome.runs_per_sec),
-            len(outcome.violations),
-            "violation" if outcome.cell.expect_violation else "clean",
-            outcome.ok,
+    rows = []
+    for verdict in result.verdicts:
+        implementation, rest = verdict.label.split("/", 1)
+        engine, scenario = rest.split(":", 1)
+        rate = verdict.runs / verdict.elapsed if verdict.elapsed > 0 else 0.0
+        rows.append(
+            (
+                implementation,
+                scenario,
+                engine,
+                verdict.runs,
+                round(rate),
+                len(verdict.class_fingerprints),
+                verdict.expected,
+                verdict.ok,
+            )
         )
-        for outcome in report.outcomes
-    ]
     print()
     print(render_table(headers, rows, title="Differential conformance campaign"))
     print()
-    print(report.summary())
-    for failure in report.shrink_failures:
-        print(f"  shrink failure: {failure}")
+    print(result.summary())
+    for row in result.violations:
+        if row["state"] == "failed":
+            print(
+                f"  shrink failure: {row['scenario_label']}"
+                f"#{row['fingerprint']}: {row['detail']}"
+            )
+    for drift in result.drift:
+        print(f"  {drift.describe()}")
+    if args.verdicts:
+        Path(args.verdicts).write_text(
+            json.dumps(verdicts_payload(result), indent=2, sort_keys=True)
+            + "\n"
+        )
+        print(f"wrote {args.verdicts}")
     print()
-    if report.ok:
+    if result.ok:
         print("PASS: every cell matched the paper's expectation")
         return 0
-    for outcome in report.mismatched:
-        print(f"FAIL: {outcome.describe()}")
-        for violation in outcome.violations:
-            print(f"  -> {violation.describe()}")
+    for verdict in result.mismatched:
+        print(f"FAIL: {verdict.describe()}")
     return 1
 
 

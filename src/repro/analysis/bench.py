@@ -23,6 +23,10 @@ The matrix is deliberately the hot-path inventory of the repository:
   canned history sets, memo caches off.
 * ``campaign.cell`` — one differential-conformance cell end to end
   through ``repro.campaign.run_campaign``.
+* ``service.queue`` — the campaign service's queue protocol (submit /
+  lease / heartbeat / verdict / complete round trips on a throwaway
+  sqlite store, execution stubbed out): the per-shard overhead the
+  service adds on top of ``run_cell``.
 * ``explore.dfs.3f.fork`` (multi-core hosts only) — the fork-engine
   crossover probe behind the ``prefix_sharing="auto"`` tuning.
 
@@ -391,6 +395,75 @@ def _bench_campaign_apps(smoke: bool) -> Dict[str, float]:
     return {"runs_per_s": report.runs_per_sec}
 
 
+def _bench_service_queue(smoke: bool) -> Dict[str, float]:
+    """Queue-protocol overhead: lease-cycle operations per second.
+
+    Submits a run of tiny cells to a throwaway sqlite store and drives
+    the full worker protocol — lease (including the expiry-requeue
+    scan), per-cell verdict insert, heartbeat, idempotent completion —
+    without executing any cell, so the metric isolates what the service
+    layer costs per shard on top of ``run_cell``. One operation = one
+    store mutation (submit counts once).
+    """
+    import tempfile
+
+    from repro.campaign.matrix import CampaignCell
+    from repro.explore import make_scenario
+    from repro.service import ResultsStore, cell_fingerprint
+    from repro.service import queue as squeue
+
+    cells = [
+        CampaignCell(
+            implementation="naive",
+            scenario=make_scenario(
+                "register", kind="naive-quorum", n=4, seed=seed
+            ),
+            engine="swarm",
+            budget=1,
+            expect_violation=True,
+        )
+        for seed in range(60 if smoke else 240)
+    ]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        store = ResultsStore(Path(tmp) / "bench.db")
+        ops = 0
+        started = time.perf_counter()
+        run_id = squeue.submit(store, cells)
+        ops += 1
+        while True:
+            lease = squeue.lease(store, "bench-worker", ttl=60.0)
+            if lease is None:
+                break
+            ops += 1
+            for cell_index, cell in lease.cells:
+                store.record_cell_verdict(
+                    run_id,
+                    cell_index,
+                    label=cell.label(),
+                    cell_fingerprint=cell_fingerprint(cell),
+                    expected="violation",
+                    ok=True,
+                    fingerprints=[],
+                    runs=1,
+                    steps=1,
+                    incomplete=0,
+                    elapsed=0.0,
+                    note="",
+                    worker="bench-worker",
+                )
+                ops += 1
+            squeue.heartbeat(store, lease, ttl=60.0)
+            squeue.complete(store, lease, runs=1, steps=1, elapsed=0.0)
+            ops += 2
+        elapsed = time.perf_counter() - started
+        if not squeue.drained(store, run_id=run_id):
+            raise RuntimeError("bench workload drifted: queue not drained")
+        if len(store.verdict_rows(run_id)) != len(cells):
+            raise RuntimeError("bench workload drifted: missing verdicts")
+        store.close()
+    return {"ops_per_s": ops / elapsed}
+
+
 #: The fixed matrix: name -> zero-arg driver returning the cell metrics.
 #: Drivers are lazy so :func:`run_bench` can calibrate *per cell*.
 def _matrix(smoke: bool) -> List[Tuple[str, Any]]:
@@ -404,6 +477,7 @@ def _matrix(smoke: bool) -> List[Tuple[str, Any]]:
         ("spec.byzantine_complete", lambda: _bench_spec_byzantine(smoke)),
         ("campaign.cell", lambda: _bench_campaign_cell(smoke)),
         ("campaign.apps", lambda: _bench_campaign_apps(smoke)),
+        ("service.queue", lambda: _bench_service_queue(smoke)),
     ]
     # Fork-engine crossover probe: only meaningful (and only run) where
     # forked siblings can actually overlap. CI's multi-core runners

@@ -42,9 +42,11 @@ from repro.campaign.matrix import (
     CampaignCell,
     CampaignReport,
     CellOutcome,
+    canonicalize_violation,
     default_matrix,
     oracle_for,
     run_campaign,
+    run_cell,
 )
 
 
@@ -68,6 +70,7 @@ __all__ = [
     "ENGINES",
     "IMPLEMENTATIONS",
     "ReplayOutcome",
+    "canonicalize_violation",
     "default_corpus_dir",
     "default_matrix",
     "entry_from_shrunk",
@@ -76,5 +79,6 @@ __all__ = [
     "oracle_for",
     "replay_entry",
     "run_campaign",
+    "run_cell",
     "save_entry",
 ]

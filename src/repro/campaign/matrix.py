@@ -262,8 +262,13 @@ def default_matrix(
     return cells
 
 
-def _run_cell(cell: CampaignCell) -> CellOutcome:
+def run_cell(cell: CampaignCell) -> CellOutcome:
     """Worker entry point: execute one matrix cell to completion.
+
+    This is *the* cell-execution path: the one-shot pool workers, the
+    bench harness and the ``repro.service`` leasing workers all call
+    it, which is what makes a cell's verdict a pure function of its
+    spec — byte-identical however and wherever it is executed.
 
     Swarm cells run a single-shard :func:`repro.explore.fuzzer.fuzz`
     campaign — pool parallelism is across cells, so a cell's findings
@@ -321,12 +326,16 @@ def _run_cell(cell: CampaignCell) -> CellOutcome:
     )
 
 
+#: Historical alias; the public name is :func:`run_cell`.
+_run_cell = run_cell
+
+
 def _run_indexed_cell(
     payload: Tuple[int, CampaignCell]
 ) -> Tuple[int, CellOutcome]:
     """Pool adapter: carry the matrix position alongside the outcome."""
     index, cell = payload
-    return index, _run_cell(cell)
+    return index, run_cell(cell)
 
 
 def run_campaign(
@@ -368,7 +377,7 @@ def run_campaign(
     by_index: Dict[int, CellOutcome] = {}
     if shard_count == 1:
         for index, cell in enumerate(cells):
-            outcome = _run_cell(cell)
+            outcome = run_cell(cell)
             by_index[index] = outcome
             emit(outcome.describe())
     else:
@@ -393,7 +402,9 @@ def run_campaign(
     return report
 
 
-def _canonicalize(scenario: Scenario, violation: Violation) -> Violation:
+def canonicalize_violation(
+    scenario: Scenario, violation: Violation
+) -> Violation:
     """Re-derive a violation's reason from a full-horizon replay.
 
     Violations found by early-exit runs carry the *truncated* history's
@@ -437,7 +448,7 @@ def _shrink_and_persist(
     are both shrunk — an unexpected one is exactly the counterexample
     worth a corpus entry and a bisection session; since unexpected ones
     come from early-exit cells, they are canonicalized to their
-    full-horizon reason first (see :func:`_canonicalize`).
+    full-horizon reason first (see :func:`canonicalize_violation`).
     """
     # Two-stage dedup. Stage 1 groups by the fingerprint the finder
     # reported. Stage 2: clean-expecting cells run with early exit
@@ -458,7 +469,7 @@ def _shrink_and_persist(
     representatives: Dict[Tuple[str, str], Tuple[Scenario, Violation]] = {}
     for (label, _), (scenario, violation, early_exit_cell) in truncated.items():
         if early_exit_cell:
-            canonical = _canonicalize(scenario, violation)
+            canonical = canonicalize_violation(scenario, violation)
             if canonical.fingerprint() != violation.fingerprint():
                 emit(
                     f"canonicalized early-exit violation to "

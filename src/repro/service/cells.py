@@ -1,0 +1,76 @@
+"""Serialization of campaign cells across the service boundary.
+
+The queue stores each :class:`repro.campaign.CampaignCell` as a small
+JSON document inside its shard, and workers rebuild the cell — through
+the scenario registry, so a retired scenario name fails the lease
+loudly instead of executing the wrong thing. Scenario params survive
+the round trip as the hashable tuples their labels and fingerprints
+were derived from (the same freeze the corpus loader applies).
+
+``cell_fingerprint`` is the cross-run identity used by the results
+database: two submissions of the same matrix cell (same family, engine,
+scenario label, budget, bounds, seed) share a fingerprint, which is
+what makes verdict drift between runs a single indexed query.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict
+
+from repro.campaign.corpus import _freeze_json
+from repro.campaign.matrix import CampaignCell
+from repro.scenarios.registry import resolve_spec
+
+
+def cell_to_json(cell: CampaignCell) -> Dict[str, Any]:
+    """The JSON document a cell is queued as."""
+    return {
+        "implementation": cell.implementation,
+        "scenario": {
+            "name": cell.scenario.name,
+            "params": [[key, value] for key, value in cell.scenario.params],
+        },
+        "engine": cell.engine,
+        "budget": cell.budget,
+        "expect_violation": cell.expect_violation,
+        "seed0": cell.seed0,
+        "depth_bound": cell.depth_bound,
+        "preemption_bound": cell.preemption_bound,
+    }
+
+
+def cell_from_json(data: Dict[str, Any]) -> CampaignCell:
+    """Rebuild a queued cell, validating its scenario against the registry."""
+    scenario = resolve_spec(
+        data["scenario"]["name"],
+        tuple(
+            (key, _freeze_json(value))
+            for key, value in data["scenario"]["params"]
+        ),
+    )
+    return CampaignCell(
+        implementation=data["implementation"],
+        scenario=scenario,
+        engine=data["engine"],
+        budget=int(data["budget"]),
+        expect_violation=bool(data["expect_violation"]),
+        seed0=int(data["seed0"]),
+        depth_bound=int(data["depth_bound"]),
+        preemption_bound=int(data["preemption_bound"]),
+    )
+
+
+def cell_fingerprint(cell: CampaignCell) -> str:
+    """Stable digest of everything that determines a cell's verdict."""
+    basis = (
+        cell.implementation,
+        cell.engine,
+        cell.scenario.label(),
+        cell.budget,
+        cell.expect_violation,
+        cell.seed0,
+        cell.depth_bound,
+        cell.preemption_bound,
+    )
+    return hashlib.blake2b(repr(basis).encode(), digest_size=8).hexdigest()

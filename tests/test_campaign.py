@@ -326,6 +326,8 @@ class TestCampaignCli:
                 "8",
                 "--corpus",
                 str(tmp_path),
+                "--db",
+                str(tmp_path / "service.db"),
             ]
         )
         out = capsys.readouterr().out
@@ -340,13 +342,20 @@ class TestCampaignCli:
 
         # An empty corpus fails loudly: CI replays the committed corpus,
         # and a lost corpus directory must not pass vacuously.
-        assert main(["campaign", "--replay", "--corpus", str(tmp_path)]) == 1
+        db = str(tmp_path / "service.db")
+        assert (
+            main(["campaign", "--replay", "--corpus", str(tmp_path), "--db", db])
+            == 1
+        )
         report = run_campaign(
             [naive_cell()], shards=1, corpus_dir=tmp_path, max_shrink_replays=150
         )
         assert report.corpus_written
         capsys.readouterr()
-        assert main(["campaign", "--replay", "--corpus", str(tmp_path)]) == 0
+        assert (
+            main(["campaign", "--replay", "--corpus", str(tmp_path), "--db", db])
+            == 0
+        )
         out = capsys.readouterr().out
         assert "PASS" in out and "still reproduce" in out
 
