@@ -357,22 +357,30 @@ def _bench_campaign_cell(smoke: bool) -> Dict[str, float]:
 def _bench_campaign_apps(smoke: bool) -> Dict[str, float]:
     """App-scenario throughput: the registry's clean ``n = 3f + 1`` cells.
 
-    Runs the snapshot and asset-transfer bench records (the clean
-    boundary cells the default campaign pins) through the campaign
-    runner and reports their pooled runs/s — the trajectory cell that
-    tracks app-level scenario cost from the registry PR onward. App
-    runs are an order of magnitude heavier than register runs (nested
-    scans / log collects over many backing registers), so this cell
-    gets its own budget rather than the register cell's.
+    Runs the app-family bench records — snapshot (including the
+    Byzantine-updater freshness cell), asset transfer and both
+    broadcast families: the clean boundary cells the default campaign
+    pins — through the campaign runner and reports their pooled
+    runs/s — the trajectory cell that tracks app-level scenario cost
+    from the registry PR onward. App runs are an order of magnitude
+    heavier than register runs (nested scans / log collects over many
+    backing registers), so this cell gets its own budget rather than
+    the register cell's.
     """
     from repro.campaign import run_campaign
     from repro.campaign.matrix import CampaignCell
     from repro.scenarios import grid
 
+    families = (
+        "snapshot",
+        "asset_transfer",
+        "broadcast",
+        "reliable_broadcast",
+    )
     records = [
         record
         for record in grid(consumer="bench", expect_violation=False)
-        if record.family in ("snapshot", "asset_transfer") and record.n == 4
+        if record.family in families and record.n == 4
     ]
     if not records:
         raise RuntimeError("bench workload drifted: no clean app records")

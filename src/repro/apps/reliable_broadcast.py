@@ -78,6 +78,24 @@ class ReliableBroadcast:
         """Start the backing registers' Help daemons."""
         self._slots.start_helpers(pids)
 
+    @property
+    def slots(self) -> int:
+        """Number of broadcast slots per sender."""
+        return self._slots.slots
+
+    @property
+    def f(self) -> int:
+        """Fault bound of the backing sticky registers."""
+        return self._slots.f
+
+    def register_for(self, sender: int, seq: int = 0):
+        """The sticky register backing slot ``seq`` of ``sender``.
+
+        Exposed for the scenario/adversary layer, which targets backing
+        registers directly (witness-state synthesis, equivocation).
+        """
+        return self._slots.register_for(sender, seq)
+
     def procedure_broadcast(self, sender: int, seq: int, message: Any) -> Program:
         """Publish ``message`` in slot ``seq`` of ``sender``."""
         result = yield from self._slots.procedure_broadcast(sender, seq, message)

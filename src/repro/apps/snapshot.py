@@ -19,11 +19,24 @@ without signatures, at ``n > 3f``. This module implements that design:
   component** via each segment register's ``Verify`` before adoption —
   a fabricated embedded scan fails verification because its components
   were never written (unforgeability, Obs 17).
+* Verification alone bounds *authenticity*, not *freshness*: every
+  genuinely-written value verifies forever, and ``EMPTY_SEGMENT``
+  verifies by definition, so a Byzantine updater could serve an
+  authentic-but-stale (even all-initial) embedded scan. The scan
+  therefore also enforces a **seq watermark**: components of an adopted
+  embedded scan must not regress below the per-owner sequence numbers
+  the scanner observed directly in its own first collect (see
+  ``_verify_embedded`` for the one race window that is exempted). An
+  owner serving a stale embedded scan joins the blacklist like any
+  other exposed-Byzantine owner.
 * ``update`` first takes a scan and embeds it in the written value
-  (the helping handshake of [1]).
+  (the helping handshake of [1]). The embedded scan is the
+  **unprojected** triple view — each component must remain verifiable
+  against its segment register, which only the genuinely-written
+  triples are (see ``procedure_scan``).
 
-Segments hold tuples ``(seq, value, embedded_scan)``; scans return a
-tuple of ``(seq, value)`` pairs indexed by pid.
+Segments hold tuples ``(seq, value, embedded_scan)``; client-facing
+scans return a tuple of ``(seq, value)`` pairs indexed by pid.
 """
 
 from __future__ import annotations
@@ -74,6 +87,13 @@ class AtomicSnapshot:
     path provides termination exactly as in [1]. The bound only guards
     against a *pathological* adversary starving every path; hitting it
     raises rather than returning an unlinearizable view.
+
+    ``verify_freshness`` gates the seq-watermark check on adopted
+    embedded scans (see the module doc). It exists so the pre-fix
+    freshness hole stays reproducible: the corpus keeps a shrunk
+    counterexample recorded with ``verify_freshness=False``, and one
+    campaign cell pins that configuration VIOLATING. Production use is
+    the default ``True``.
     """
 
     OPERATIONS = ("update", "scan")
@@ -84,11 +104,13 @@ class AtomicSnapshot:
         name: str = "snap",
         f: Optional[int] = None,
         max_collect_rounds: int = 64,
+        verify_freshness: bool = True,
     ):
         self.system = system
         self.name = name
         self.f = system.f if f is None else f
         self.max_collect_rounds = max_collect_rounds
+        self.verify_freshness = verify_freshness
         self._segments: Dict[int, AuthenticatedRegister] = {
             pid: AuthenticatedRegister(
                 system,
@@ -163,6 +185,16 @@ class AtomicSnapshot:
     def procedure_scan(self, pid: int, _nested: bool = False) -> Program:
         """Double collect with verified embedded-scan adoption.
 
+        Returns the client-facing ``((seq, value), ...)`` pair view, or —
+        when ``_nested`` (the scan embedded inside an update) — the raw
+        triple view ``((seq, value, embedded), ...)``. The distinction is
+        load-bearing: an update must embed *triples*, because each
+        embedded component is later re-verified against its segment's
+        authenticated register, and only the genuinely-written triple
+        verifies. Embedding the projected pair view would make every
+        correct updater's embedded scan parse as all-initial — stale by
+        construction and indistinguishable from the freshness attack.
+
         A segment owner whose embedded scan *fails* verification has
         proven itself Byzantine (a correct updater's embedded scan always
         verifies — its components are genuinely written values). Such
@@ -175,10 +207,16 @@ class AtomicSnapshot:
         [5], recovered here from the registers' Verify.
         """
         moved_once: Dict[int, Tuple[int, Any, Any]] = {}
+        moved_round: Dict[int, int] = {}
         blacklist: set = set()
         owners = sorted(self._segments)
         previous = yield from self._collect(pid)
-        for _round in range(self.max_collect_rounds):
+        # Freshness watermark: the per-owner seqs this scan has observed
+        # *directly*. A correct updater's embedded scan adopted later was
+        # taken inside our interval, so (modulo the race `_verify_embedded`
+        # exempts) its components can only be at least this fresh.
+        floor = tuple(component[0] for component in previous)
+        for round_index in range(1, self.max_collect_rounds + 1):
             current = yield from self._collect(pid)
             stable = all(
                 current[index] == previous[index]
@@ -186,12 +224,19 @@ class AtomicSnapshot:
                 if owner not in blacklist
             )
             if stable:
-                return self._project(current)
+                return current if _nested else self._project(current)
             adopted = yield from self._try_adopt(
-                pid, previous, current, moved_once, blacklist
+                pid,
+                previous,
+                current,
+                moved_once,
+                moved_round,
+                blacklist,
+                floor,
+                round_index,
             )
             if adopted is not None:
-                return adopted
+                return adopted if _nested else self._project(adopted)
             previous = current
             yield Pause()
         raise ConfigurationError(
@@ -205,15 +250,19 @@ class AtomicSnapshot:
         previous: Sequence[Tuple[int, Any, Any]],
         current: Sequence[Tuple[int, Any, Any]],
         moved_once: Dict[int, Tuple[int, Any, Any]],
+        moved_round: Dict[int, int],
         blacklist: set,
+        floor: Sequence[int],
+        round_index: int,
     ) -> Program:
         """Adopt a twice-moved updater's embedded scan, after verifying it.
 
         A mover's second observed update began after our scan started, so
         its embedded scan was taken inside our interval (the [1]
         argument). Verification of every component against its segment's
-        authenticated register blocks fabricated views; an owner caught
-        with an unverifiable embedded scan joins the blacklist.
+        authenticated register blocks fabricated views, and the freshness
+        watermark blocks authentic-but-stale ones; an owner caught either
+        way joins the blacklist.
         """
         owners = sorted(self._segments)
         for index, owner in enumerate(owners):
@@ -223,15 +272,57 @@ class AtomicSnapshot:
                 continue
             if owner in moved_once and current[index] != moved_once[owner]:
                 embedded = current[index][2]
-                verified = yield from self._verify_embedded(pid, embedded)
+                verified = yield from self._verify_embedded(
+                    pid,
+                    embedded,
+                    mover=owner,
+                    floor=floor,
+                    early_mover=moved_round.get(owner) == 1,
+                )
                 if verified is not None:
                     return verified
                 blacklist.add(owner)  # exposed as Byzantine
-            moved_once.setdefault(owner, current[index])
+            if owner not in moved_once:
+                moved_once[owner] = current[index]
+                moved_round[owner] = round_index
         return None
 
-    def _verify_embedded(self, pid: int, embedded: Any) -> Program:
-        """Check an embedded scan component-by-component; None if bogus."""
+    def _verify_embedded(
+        self,
+        pid: int,
+        embedded: Any,
+        mover: Optional[int] = None,
+        floor: Sequence[int] = (),
+        early_mover: bool = False,
+    ) -> Program:
+        """Check an embedded scan component-by-component.
+
+        Returns the verified *triple* view (``None`` if bogus) so that
+        nested adoption re-embeds verifiable components; the caller
+        projects to pairs only at the client boundary.
+
+        Two independent checks per component:
+
+        * **Authenticity** — the value was genuinely written (the
+          segment register's Verify; ``EMPTY_SEGMENT`` is v0 and always
+          authentic; own-segment components are checked against our own
+          seq counter instead, since Verify of our own register would
+          accept anything we ever wrote).
+        * **Freshness** (when ``verify_freshness``) — the component's
+          seq must not regress below ``floor``, the seqs this scan's
+          *first* collect observed directly. Soundness: for a correct
+          mover, the adopted update's embedded collect read owner ``A``'s
+          segment *after* the mover's previous write completed, which is
+          after our first-collect read of the mover — and, because a
+          collect reads owners in sorted order, after our first-collect
+          read of every ``A < mover`` too. Correct segments are
+          seq-monotone, so those components cannot be below our floor.
+          The one unprovable case — ``A > mover`` when the mover's first
+          observed change was already on our second collect
+          (``early_mover``: its embedded collect may have read ``A``
+          before our first collect got there) — is exempted rather than
+          risk blacklisting a correct helper over a race.
+        """
         owners = sorted(self._segments)
         if not isinstance(embedded, tuple) or len(embedded) != len(owners):
             return None
@@ -239,6 +330,10 @@ class AtomicSnapshot:
         for index, owner in enumerate(owners):
             component = well_formed_segment(embedded[index])
             view.append(component)
+            if self.verify_freshness and floor:
+                exempt = early_mover and mover is not None and owner > mover
+                if not exempt and component[0] < floor[index]:
+                    return None  # authentic-or-initial but provably stale
             if component == EMPTY_SEGMENT:
                 continue  # the initial value always verifies
             if owner == pid:
@@ -252,7 +347,7 @@ class AtomicSnapshot:
             )
             if not ok:
                 return None
-        return self._project(tuple(view))
+        return tuple(view)
 
     @staticmethod
     def _project(

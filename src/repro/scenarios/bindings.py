@@ -36,6 +36,7 @@ from repro.spec.properties import (
 from repro.spec.sequential import (
     AssetTransferSpec,
     AuthenticatedRegisterSpec,
+    BroadcastSpec,
     SequentialSpec,
     SnapshotSpec,
     StickyRegisterSpec,
@@ -136,6 +137,18 @@ FAMILY_BINDINGS: Dict[str, OracleBinding] = {
         OracleBinding(
             family="asset_transfer",
             spec_factory=lambda initial=0: AssetTransferSpec(),
+        ),
+        # Both broadcast apps implement the same object — the facade
+        # relationship mirrors the strawman/baseline families sharing
+        # VerifiableRegisterSpec: one spec, any divergence between the
+        # two implementations is a conformance violation.
+        OracleBinding(
+            family="broadcast",
+            spec_factory=lambda initial=0: BroadcastSpec(),
+        ),
+        OracleBinding(
+            family="reliable_broadcast",
+            spec_factory=lambda initial=0: BroadcastSpec(),
         ),
     )
 }

@@ -15,7 +15,10 @@ does lazily on the first registry query) registers:
   after the historical cells so the pre-existing matrix prefix stays
   byte-identical;
 * the application cells (atomic snapshot, asset transfer) at both
-  fault boundaries, with their differential expectations pinned.
+  fault boundaries, with their differential expectations pinned;
+* the Byzantine-updater snapshot boundary (the embedded-scan freshness
+  fix) and the broadcast families — appended after the PR-5 app cells,
+  same prefix contract.
 
 Registration order is contract: ``repro.campaign.default_matrix`` is a
 ``grid(consumer=...)`` query and materializes cells in this order, and
@@ -172,8 +175,8 @@ def _register_apps() -> None:
       segment with a *correct* owner is served by the owner's and the
       reader's helpers, which already meet the ``n - f`` quorum at
       ``n = 3f`` — the object's ``n > 3f`` requirement is owed to
-      Byzantine-*updater* cases the projected oracle deliberately does
-      not judge (see ``repro.scenarios.apps``).
+      Byzantine-*updater* cases, which the ``byzantine_updater`` cells
+      (see :func:`_register_freshness_boundary`) now judge directly.
     """
     for name, n, f, byzantine, expect in (
         ("snapshot", 4, 1, ((4, "deny"),), False),
@@ -200,8 +203,111 @@ def _register_apps() -> None:
         )
 
 
+def _register_freshness_boundary() -> None:
+    """The Byzantine-updater snapshot cells (embedded-scan freshness).
+
+    A churning Byzantine updater serves *authentic* updates whose
+    embedded scans replay the all-initial view. Pre-fix,
+    ``AtomicSnapshot._verify_embedded`` accepted them (authenticity
+    alone never bounds freshness) and correct scanners adopted stale
+    views — a linearizability violation at *any* ``n``, which the
+    ``verify_freshness=False`` cell pins VIOLATING at ``n = 3f + 1``
+    (its shrunk counterexample lives in ``corpus/``). Post-fix the seq
+    watermark blacklists the churner, and the default cells pin clean
+    at both ``n = 3f`` and ``n = 3f + 1``.
+    """
+    for n, f in ((4, 1), (3, 1)):
+        byzantine = ((n, "byzantine_updater"),)
+        consumers: Tuple[str, ...] = ("campaign", "smoke")
+        if n == 4:
+            consumers += ("bench",)
+        register(
+            ScenarioRecord(
+                family="snapshot",
+                n=n,
+                f=f,
+                spec=make_scenario(
+                    "snapshot", n=n, f=f, seed=0, byzantine=byzantine
+                ),
+                engine="swarm",
+                expect_violation=False,
+                consumers=consumers,
+            )
+        )
+    register(
+        ScenarioRecord(
+            family="snapshot",
+            n=4,
+            f=1,
+            spec=make_scenario(
+                "snapshot",
+                n=4,
+                f=1,
+                seed=0,
+                byzantine=((4, "byzantine_updater"),),
+                verify_freshness=False,
+            ),
+            engine="swarm",
+            expect_violation=True,
+            consumers=("campaign", "smoke"),
+        )
+    )
+
+
+def _register_broadcast_families() -> None:
+    """Both broadcast apps at the paper's boundary.
+
+    Clean at ``n = 3f + 1`` under the equivocating *sender*; violating
+    at ``n = 3f``, where the fork shows two correct receivers different
+    messages for the same (sender, slot) — the integrity break the
+    sticky registers exist to exclude. The facade relationship
+    (reliable broadcast reuses the non-equivocating slot machinery)
+    makes the two families a differential pair over one
+    :class:`repro.spec.BroadcastSpec` oracle.
+    """
+    for family in ("broadcast", "reliable_broadcast"):
+        for n, expect in ((4, False), (3, True)):
+            consumers = ("campaign", "smoke")
+            if not expect:
+                consumers += ("bench",)
+            register(
+                ScenarioRecord(
+                    family=family,
+                    n=n,
+                    f=1,
+                    spec=make_scenario(
+                        family,
+                        n=n,
+                        f=1,
+                        seed=0,
+                        byzantine=((n, "equivocate"),),
+                    ),
+                    engine="swarm",
+                    expect_violation=expect,
+                    consumers=consumers,
+                )
+            )
+        # Vocabulary breadth beyond the boundary pair: the reader-side
+        # stonewaller must be harmless to a correct sender's slots.
+        register(
+            ScenarioRecord(
+                family=family,
+                n=4,
+                f=1,
+                spec=make_scenario(
+                    family, n=4, f=1, seed=0, byzantine=((4, "stonewall"),)
+                ),
+                engine="swarm",
+                expect_violation=False,
+                consumers=("campaign",),
+            )
+        )
+
+
 _register_alg_families()
 _register_baseline_and_strawman()
 _register_test_or_set()
 _register_extra_grids()
 _register_apps()
+_register_freshness_boundary()
+_register_broadcast_families()

@@ -33,6 +33,7 @@ from repro.spec.properties import (
 from repro.spec.sequential import (
     AssetTransferSpec,
     AuthenticatedRegisterSpec,
+    BroadcastSpec,
     RegularRegisterSpec,
     SequentialSpec,
     SnapshotSpec,
@@ -44,6 +45,7 @@ from repro.spec.sequential import (
 __all__ = [
     "AssetTransferSpec",
     "AuthenticatedRegisterSpec",
+    "BroadcastSpec",
     "ByzantineVerdict",
     "CheckContext",
     "IncrementalChecker",

@@ -17,12 +17,14 @@ Specs implemented:
   applications (one segment per tracked process).
 * :class:`AssetTransferSpec` — the asset-transfer object (accounts with
   single-owner spending).
+* :class:`BroadcastSpec` — the (sender, slot)-indexed broadcast object
+  shared by the non-equivocating and reliable broadcast apps.
 
-The two application specs are *caller-indexed*: ``update``/``transfer``
-take the acting pid as their first spec argument, because a sequential
-snapshot/asset-transfer state transition depends on who acts. The
-scenario layer rewrites history records accordingly before checking
-(see ``repro.scenarios.apps``).
+The application specs are *caller-indexed*: ``update``/``transfer``/
+``broadcast`` take the acting pid as their first spec argument, because
+a sequential snapshot/asset-transfer/broadcast state transition depends
+on who acts. The scenario layer rewrites history records accordingly
+before checking (see ``repro.scenarios.apps``).
 
 All states are immutable (hashable) so the checker can memoize on
 ``(linearized-set, state)`` pairs.
@@ -237,6 +239,71 @@ class SnapshotSpec(SequentialSpec):
         if op == "scan":
             return state, state
         raise ValueError(f"snapshot has no operation {op!r}")
+
+
+@dataclass(frozen=True)
+class BroadcastSpec(SequentialSpec):
+    """Broadcast over per-(sender, slot) single-message channels.
+
+    The sequential object behind both broadcast apps (the sticky-register
+    sketch of Section 8 and the signature-free reliable broadcast): each
+    tracked sender owns ``slots`` message slots; a slot holds at most one
+    message forever. State is a tuple of messages (``⊥`` = nothing
+    broadcast yet), one per (sender, slot) in ``senders`` × slot order:
+
+    * ``broadcast(sender, slot, m)`` -> ``done``; slot := m only while
+      the slot is still ``⊥`` (stickiness *is* the object: a second
+      broadcast cannot replace the first).
+    * ``deliver(sender, slot)`` -> the slot's message, or ``⊥``.
+
+    Linearizability against this spec is exactly the broadcast contract:
+    *integrity / non-equivocation* (one slot explains every delivery, so
+    two correct receivers can never be shown different messages),
+    *validity* (a delivery that really follows a completed broadcast
+    must return its message) and *totality* (once some delivery returned
+    ``m``, a later delivery returning ``⊥`` cannot linearize — it would
+    need the pre-broadcast state after a post-broadcast read).
+
+    Byzantine senders never appear in the correct-restricted history;
+    the scenario layer synthesizes at most one whole-run ``broadcast``
+    per settled Byzantine slot (see ``repro.scenarios.apps``), so a
+    forked slot — two receivers delivering different messages — is
+    unexplainable and fails the search.
+    """
+
+    senders: Tuple[int, ...] = ()
+    slots: int = 1
+
+    def initial_state(self) -> Hashable:
+        return tuple(BOTTOM for _ in range(len(self.senders) * self.slots))
+
+    def _index(self, sender: Any, slot: Any) -> int:
+        try:
+            base = self.senders.index(sender)
+        except ValueError:
+            raise ValueError(f"broadcast does not track sender {sender}")
+        if (
+            not isinstance(slot, int)
+            or isinstance(slot, bool)
+            or not 0 <= slot < self.slots
+        ):
+            raise ValueError(f"broadcast has no slot {slot!r}")
+        return base * self.slots + slot
+
+    def apply(self, state, op, args):
+        if op == "broadcast":
+            sender, slot, message = args
+            message = freeze(message)
+            if is_bottom(message):
+                raise ValueError("⊥ cannot be broadcast")
+            index = self._index(sender, slot)
+            if is_bottom(state[index]):
+                return state[:index] + (message,) + state[index + 1:], DONE
+            return state, DONE
+        if op == "deliver":
+            sender, slot = args
+            return state, state[self._index(sender, slot)]
+        raise ValueError(f"broadcast has no operation {op!r}")
 
 
 @dataclass(frozen=True)

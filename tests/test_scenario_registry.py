@@ -90,12 +90,19 @@ class TestOracleBindings:
             checker_for("quantum")
 
     def test_app_families_are_bound(self):
-        from repro.spec import AssetTransferSpec, SnapshotSpec
+        from repro.spec import AssetTransferSpec, BroadcastSpec, SnapshotSpec
 
         assert isinstance(oracle_for("snapshot"), SnapshotSpec)
         assert isinstance(oracle_for("asset_transfer"), AssetTransferSpec)
         assert kind_for("snapshot") is None
         assert kind_for("asset_transfer") is None
+        # Both broadcast implementations share the one BroadcastSpec —
+        # the facade differential, like strawman/baseline sharing
+        # VerifiableRegisterSpec.
+        assert isinstance(oracle_for("broadcast"), BroadcastSpec)
+        assert isinstance(oracle_for("reliable_broadcast"), BroadcastSpec)
+        assert kind_for("broadcast") is None
+        assert kind_for("reliable_broadcast") is None
 
 
 class TestRoundTrips:
@@ -238,6 +245,69 @@ class TestGrownMatrix:
             ("test_or_set", "theorem29(f=1)", "systematic", True),
             ("test_or_set", "theorem29(extra_correct=True,f=1)", "systematic", False),
         ]
+
+    def test_freshness_boundary_cells_are_pinned(self):
+        # The Byzantine-updater snapshot boundary: clean post-fix at
+        # both n = 3f and n = 3f + 1, and the pre-fix configuration
+        # (verify_freshness=False) pinned VIOLATING — the regression
+        # guard for the embedded-scan freshness hole.
+        cells = {
+            c.scenario.label(): c.expect_violation
+            for c in default_matrix()
+            if c.implementation == "snapshot"
+        }
+        assert cells[
+            "snapshot(byzantine=((4, 'byzantine_updater'),),f=1,n=4,seed=0)"
+        ] is False
+        assert cells[
+            "snapshot(byzantine=((3, 'byzantine_updater'),),f=1,n=3,seed=0)"
+        ] is False
+        assert cells[
+            "snapshot(byzantine=((4, 'byzantine_updater'),),f=1,n=4,seed=0,"
+            "verify_freshness=False)"
+        ] is True
+
+    def test_broadcast_cells_are_pinned_at_the_paper_boundary(self):
+        # Both broadcast families: clean at n = 3f + 1 under the
+        # equivocating sender, violating at n = 3f (the fork), plus the
+        # campaign-only stonewall breadth cell.
+        for family in ("broadcast", "reliable_broadcast"):
+            cells = {
+                c.scenario.label(): c.expect_violation
+                for c in default_matrix()
+                if c.implementation == family
+            }
+            assert cells == {
+                f"{family}(byzantine=((4, 'equivocate'),),f=1,n=4,seed=0)": False,
+                f"{family}(byzantine=((3, 'equivocate'),),f=1,n=3,seed=0)": True,
+                f"{family}(byzantine=((4, 'stonewall'),),f=1,n=4,seed=0)": False,
+            }
+            smoke = {
+                c.scenario.label()
+                for c in default_matrix(smoke=True)
+                if c.implementation == family
+            }
+            assert (
+                f"{family}(byzantine=((3, 'equivocate'),),f=1,n=3,seed=0)"
+                in smoke
+            )
+
+    def test_new_cells_append_after_the_historical_prefix(self):
+        # Registration order is contract: the freshness-boundary and
+        # broadcast cells must extend the matrix, never reorder it —
+        # every pre-existing cell keeps its index.
+        labels = [
+            (c.implementation, c.scenario.label()) for c in default_matrix()
+        ]
+        new = [
+            index
+            for index, (family, label) in enumerate(labels)
+            if family in ("broadcast", "reliable_broadcast")
+            or "byzantine_updater" in label
+        ]
+        old = [index for index in range(len(labels)) if index not in new]
+        assert new and old
+        assert min(new) > max(old)
 
     def test_extra_adversary_grids_are_registered(self):
         # The campaign-growth mixes: appended, campaign-only, clean.

@@ -406,6 +406,38 @@ class TestServiceCli:
         replay_store.close()
         assert len(rows) == 1 and bool(rows[0]["ok"])
 
+    def test_replay_covers_the_committed_corpus(self, tmp_path, capsys):
+        # The committed corpus — including the snapshot freshness-hole
+        # counterexample and the broadcast forks — feeds the service
+        # replay-trend table: every entry replays ok and is recorded.
+        from pathlib import Path
+
+        from repro.analysis.__main__ import main
+
+        db = tmp_path / "service.db"
+        corpus = Path(__file__).resolve().parent.parent / "corpus"
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--replay",
+                    "--corpus",
+                    str(corpus),
+                    "--db",
+                    str(db),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        replay_store = ResultsStore(db)
+        rows = replay_store.replay_rows()
+        replay_store.close()
+        assert rows and all(bool(row["ok"]) for row in rows)
+        labels = [row["entry_label"] for row in rows]
+        for family in ("snapshot(", "broadcast(", "reliable_broadcast("):
+            assert any(label.startswith(family) for label in labels), labels
+
 
 class TestExploreRegistryLabels:
     def test_explore_accepts_any_registry_label(self, capsys):
