@@ -403,6 +403,47 @@ def _bench_campaign_apps(smoke: bool) -> Dict[str, float]:
     return {"runs_per_s": report.runs_per_sec}
 
 
+def _bench_mp_emulation(smoke: bool) -> Dict[str, float]:
+    """Message-passing emulation throughput, reliable and faulted.
+
+    Runs the ``mp_emulation`` bench records — the reliable-network
+    baseline and the fair-lossy + retransmit cell — through the
+    campaign runner and reports their pooled runs/s: the trajectory
+    cell for the fault-injection stack (FaultyNetwork suppression,
+    channel framing/retransmission, the progress monitor on the goal
+    path). Each run simulates full quorum round trips per operation, so
+    this cell gets app-scale budgets, not the register cell's.
+    """
+    from repro.campaign import run_campaign
+    from repro.campaign.matrix import CampaignCell
+    from repro.scenarios import grid
+
+    records = [
+        record
+        for record in grid(consumer="bench", expect_violation=False)
+        if record.family == "mp_emulation"
+    ]
+    if not records:
+        raise RuntimeError("bench workload drifted: no mp_emulation records")
+    cells = [
+        CampaignCell(
+            implementation=record.family,
+            scenario=record.spec,
+            engine=record.engine,
+            budget=6 if smoke else 24,
+            expect_violation=False,
+        )
+        for record in records
+    ]
+    report = run_campaign(cells, shards=1, shrink_violations=False, corpus_dir=None)
+    for outcome in report.outcomes:
+        if not outcome.ok:
+            raise RuntimeError(
+                f"bench mp emulation cell mismatched: {outcome.describe()}"
+            )
+    return {"runs_per_s": report.runs_per_sec}
+
+
 def _bench_service_queue(smoke: bool) -> Dict[str, float]:
     """Queue-protocol overhead: lease-cycle operations per second.
 
@@ -485,6 +526,7 @@ def _matrix(smoke: bool) -> List[Tuple[str, Any]]:
         ("spec.byzantine_complete", lambda: _bench_spec_byzantine(smoke)),
         ("campaign.cell", lambda: _bench_campaign_cell(smoke)),
         ("campaign.apps", lambda: _bench_campaign_apps(smoke)),
+        ("mp.emulation", lambda: _bench_mp_emulation(smoke)),
         ("service.queue", lambda: _bench_service_queue(smoke)),
     ]
     # Fork-engine crossover probe: only meaningful (and only run) where

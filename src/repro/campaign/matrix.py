@@ -125,12 +125,26 @@ class CellOutcome:
         return self.runs / self.elapsed if self.elapsed > 0 else 0.0
 
     def describe(self) -> str:
-        """One progress line for the CLI."""
-        found = (
-            f"{len(self.violations)} violation class(es)"
-            if self.violations
-            else "clean"
-        )
+        """One progress line for the CLI.
+
+        Liveness verdicts are worded apart from safety breaks: a cell
+        whose violation classes are all ``STALLED`` diagnoses reads
+        "stall class(es)", a mix annotates how many of the classes are
+        stalls. The payload/fingerprint plumbing is untouched — this is
+        presentation only.
+        """
+        stalls = sum(1 for violation in self.violations if violation.is_stall)
+        if not self.violations:
+            found = "clean"
+        elif stalls == len(self.violations):
+            found = f"{len(self.violations)} stall class(es)"
+        elif stalls:
+            found = (
+                f"{len(self.violations)} violation class(es), "
+                f"{stalls} stall(s)"
+            )
+        else:
+            found = f"{len(self.violations)} violation class(es)"
         verdict = "as expected" if self.ok else "UNEXPECTED"
         return (
             f"{self.cell.label()}: {found} ({verdict}) in {self.runs} runs, "

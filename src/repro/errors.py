@@ -55,6 +55,25 @@ class StepLimitExceeded(ReproError):
         self.steps = steps
 
 
+class StallDetected(ReproError):
+    """A progress monitor concluded the run can no longer make progress.
+
+    Raised by :class:`repro.faults.ProgressMonitor` from inside a drive
+    loop's goal predicate when the delivered/accepted counters and the
+    pending-op set have not moved for a full stall window. Scenario
+    drivers catch it and surface the diagnosis as a first-class
+    ``STALLED`` verdict — a *liveness* violation with the same corpus
+    and campaign plumbing as safety violations — instead of burning the
+    rest of the step budget and reporting an ambiguous
+    :class:`StepLimitExceeded`.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        #: The monitor's diagnosis (pending ops, suppressed links).
+        self.reason = reason
+
+
 class EarlyExitInterrupt(ReproError):
     """An early-exit monitor proved the running history irrecoverable.
 

@@ -88,6 +88,17 @@ class Violation:
         """
         return f"{self.scenario}:{re.sub(r'[0-9]+', 'N', self.reason)}"
 
+    @property
+    def is_stall(self) -> bool:
+        """True for a liveness (``STALLED``) verdict, not a safety break.
+
+        Stall verdicts come from :class:`repro.faults.ProgressMonitor`
+        converting a would-be hang into a first-class violation; they
+        ride the same reason/fingerprint plumbing, and this flag only
+        changes how reports *word* them.
+        """
+        return self.reason.startswith("STALLED")
+
     def describe(self) -> str:
         """One-line rendering for reports."""
         return (

@@ -1,0 +1,196 @@
+"""Retransmission channels: reliable links rebuilt over fair-lossy ones.
+
+The paper (and the [11] emulation in :mod:`repro.mp.swmr_emulation`)
+assumes reliable authenticated channels. Over a fair-lossy
+:class:`repro.faults.FaultyNetwork` that assumption breaks; this module
+rebuilds it with the classic mechanism:
+
+* every protocol payload is framed as ``("CH", seq, payload)`` with a
+  per-``(src, dst)`` sequence number;
+* the receiver **always acknowledges** a frame (``("CH-ACK", seq)``)
+  and delivers the inner payload at most once (seqno dedup absorbs
+  duplication and retransmit races);
+* the sender keeps unacknowledged frames pending and retransmits on a
+  virtual-time timeout with exponential backoff, up to ``max_retries``
+  attempts; exhaustion is surfaced in :attr:`RetransmitChannels.exhausted`
+  (a metric, not an exception — over a fair-lossy link exhaustion means
+  the retry budget was too small; over a partition it is expected).
+
+Fair-lossy links deliver any message retransmitted infinitely often, so
+with an adequate retry budget the framed channel is reliable and the
+emulation's quorum arguments go through unchanged. Nothing here is
+randomized: retransmit timing is a pure function of the virtual clock,
+so faulty runs stay replayable.
+
+Unframed payloads pass through :meth:`RetransmitChannels.on_receive`
+untouched, which lets channel-framed and bare traffic coexist during
+migration (and keeps Byzantine senders free to ignore the framing).
+
+The per-channel ``seen`` sets grow with the run; a production
+implementation would use cumulative acks — bounded runs make the simple
+set fine here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.effects import Send
+
+
+class _PendingFrame:
+    """Sender-side bookkeeping for one unacknowledged frame."""
+
+    __slots__ = ("dest", "seq", "payload", "due", "attempts")
+
+    def __init__(self, dest: int, seq: int, payload: Any, due: int):
+        self.dest = dest
+        self.seq = seq
+        self.payload = payload
+        self.due = due
+        self.attempts = 0
+
+
+class RetransmitChannels:
+    """Reliable per-process-pair channels over a lossy network.
+
+    One instance serves every process of a system (mirroring
+    :class:`repro.mp.RegisterEmulation`'s per-pid state maps); all entry
+    points take the acting pid explicitly.
+
+    Args:
+        system: The system whose clock paces retransmission.
+        base_timeout: Steps before the first retransmit of a frame.
+            Should comfortably exceed the network round trip.
+        max_backoff: Cap on the doubling retransmit interval.
+        max_retries: Retransmit attempts before a frame is abandoned
+            (counted in :attr:`exhausted`).
+    """
+
+    def __init__(
+        self,
+        system: Any,
+        base_timeout: int = 24,
+        max_backoff: int = 384,
+        max_retries: int = 12,
+    ):
+        if base_timeout < 1 or max_backoff < base_timeout or max_retries < 0:
+            raise ConfigurationError(
+                f"bad channel timing: base_timeout={base_timeout}, "
+                f"max_backoff={max_backoff}, max_retries={max_retries}"
+            )
+        self.system = system
+        self.base_timeout = base_timeout
+        self.max_backoff = max_backoff
+        self.max_retries = max_retries
+        #: Next sequence number per (src, dst).
+        self._next_seq: Dict[Tuple[int, int], int] = {}
+        #: Unacked frames per src: {(dst, seq): _PendingFrame}.
+        self._pending: Dict[int, Dict[Tuple[int, int], _PendingFrame]] = {}
+        #: Receiver-side dedup: (receiver, sender) -> delivered seqs.
+        self._seen: Dict[Tuple[int, int], Set[int]] = {}
+        # Metrics.
+        self.sent = 0
+        self.retransmitted = 0
+        self.acked = 0
+        self.duplicates_dropped = 0
+        self.exhausted = 0
+
+    # ------------------------------------------------------------------
+    # Sender side
+    # ------------------------------------------------------------------
+    def send_effects(self, src: int, dst: int, payload: Any) -> List[Any]:
+        """Effects that send ``payload`` reliably from ``src`` to ``dst``."""
+        key = (src, dst)
+        seq = self._next_seq.get(key, 0) + 1
+        self._next_seq[key] = seq
+        frame = _PendingFrame(
+            dst, seq, payload, self.system.clock + self.base_timeout
+        )
+        self._pending.setdefault(src, {})[(dst, seq)] = frame
+        self.sent += 1
+        return [Send(dst, ("CH", seq, payload))]
+
+    def broadcast_effects(self, src: int, payload: Any) -> List[Any]:
+        """Reliable broadcast: one channel send per destination ``1..n``."""
+        effects: List[Any] = []
+        for dst in range(1, self.system.n + 1):
+            effects.extend(self.send_effects(src, dst, payload))
+        return effects
+
+    def due_retransmits(self, src: int, now: int) -> List[Any]:
+        """Effects re-sending every overdue unacked frame of ``src``."""
+        pending = self._pending.get(src)
+        if not pending:
+            return []
+        effects: List[Any] = []
+        abandoned: List[Tuple[int, int]] = []
+        for key, frame in pending.items():
+            if frame.due > now:
+                continue
+            frame.attempts += 1
+            if frame.attempts > self.max_retries:
+                abandoned.append(key)
+                continue
+            self.retransmitted += 1
+            backoff = min(
+                self.base_timeout * (2 ** frame.attempts), self.max_backoff
+            )
+            frame.due = now + backoff
+            effects.append(Send(frame.dest, ("CH", frame.seq, frame.payload)))
+        for key in abandoned:
+            del pending[key]
+            self.exhausted += 1
+        return effects
+
+    # ------------------------------------------------------------------
+    # Receiver side
+    # ------------------------------------------------------------------
+    def on_receive(
+        self, pid: int, sender: int, payload: Any
+    ) -> Tuple[Optional[Any], List[Any]]:
+        """Unframe one inbound message.
+
+        Returns ``(inner_payload, effects)``: ``inner_payload`` is the
+        deliverable protocol payload (``None`` for duplicates and pure
+        acks), ``effects`` the acknowledgement sends to emit. Payloads
+        that are not channel frames pass through unchanged.
+        """
+        if isinstance(payload, tuple) and len(payload) == 3 and payload[0] == "CH":
+            _k, seq, inner = payload
+            if not isinstance(seq, int) or isinstance(seq, bool):
+                return None, []
+            # Always ack — the previous ack may have been the lost leg.
+            effects: List[Any] = [Send(sender, ("CH-ACK", seq))]
+            seen = self._seen.setdefault((pid, sender), set())
+            if seq in seen:
+                self.duplicates_dropped += 1
+                return None, effects
+            seen.add(seq)
+            return inner, effects
+        if isinstance(payload, tuple) and len(payload) == 2 and payload[0] == "CH-ACK":
+            _k, seq = payload
+            pending = self._pending.get(pid)
+            if pending is not None and pending.pop((sender, seq), None) is not None:
+                self.acked += 1
+            return None, []
+        return payload, []
+
+    # ------------------------------------------------------------------
+    def pending_count(self, src: Optional[int] = None) -> int:
+        """Unacked frames of ``src`` (or of every process when omitted)."""
+        if src is not None:
+            return len(self._pending.get(src, ()))
+        return sum(len(frames) for frames in self._pending.values())
+
+    def metrics(self) -> Dict[str, int]:
+        """Plain-dict channel counters for reports and tests."""
+        return {
+            "sent": self.sent,
+            "retransmitted": self.retransmitted,
+            "acked": self.acked,
+            "duplicates_dropped": self.duplicates_dropped,
+            "exhausted": self.exhausted,
+            "pending": self.pending_count(),
+        }

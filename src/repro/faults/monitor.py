@@ -1,0 +1,96 @@
+"""Stall-to-verdict liveness monitoring.
+
+Under injected faults a run can lose liveness — a write that can never
+reach its quorum just polls forever — and without help it burns the
+whole step budget and surfaces as :class:`repro.errors.StepLimitExceeded`,
+indistinguishable from "budget too small". :class:`ProgressMonitor`
+watches a tuple of *progress signals* (delivered counters, recorded
+responses, protocol-state versions) from inside the drive loop's goal
+predicate and raises :class:`repro.errors.StallDetected` once nothing
+has moved for a full stall window — converting the would-be hang into a
+first-class ``STALLED`` verdict carrying a diagnosis: which operations
+are pending and what the fault plan is suppressing.
+
+Scenario drivers catch the exception and return normally, so a stalled
+run is *completed* as far as the exploration/replay machinery is
+concerned (its trace replays, shrinks, and persists to the corpus like
+any safety violation); the stall reason is what ``check()`` reports.
+
+The window must be comfortably larger than the longest legitimate gap
+between progress events — with retransmit channels that is the capped
+backoff interval — and far smaller than the drive's ``max_steps`` so a
+stalling run still completes within budget.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+from repro.errors import ConfigurationError, StallDetected
+
+
+class ProgressMonitor:
+    """Raise :class:`StallDetected` when progress signals stop moving.
+
+    Args:
+        system: The system whose clock measures the window.
+        signals: Zero-argument callable returning a comparable tuple of
+            progress counters; any change resets the window. Counters
+            should track *useful* events (deliveries into mailboxes,
+            responses, protocol-state adoptions) — retransmission sends
+            are not progress.
+        window: Steps without a signal change before the stall verdict.
+        describe_pending: Optional callable returning a one-line summary
+            of the operations still pending (folded into the diagnosis).
+        network: Optional network whose ``describe_suppression(now)``
+            explains what a fault plan is cutting (a
+            :class:`repro.faults.FaultyNetwork`).
+    """
+
+    def __init__(
+        self,
+        system: Any,
+        signals: Callable[[], Tuple],
+        window: int = 2_500,
+        describe_pending: Optional[Callable[[], str]] = None,
+        network: Optional[Any] = None,
+    ):
+        if window < 1:
+            raise ConfigurationError(f"stall window must be >= 1, got {window}")
+        self.system = system
+        self.window = window
+        self._signals = signals
+        self._describe_pending = describe_pending
+        self._network = network
+        self._last: Optional[Tuple] = None
+        self._last_change = system.clock
+        #: Set to the diagnosis once a stall has been raised.
+        self.stalled: Optional[str] = None
+
+    def observe(self) -> None:
+        """Sample the signals; raise once the window elapses unchanged.
+
+        Designed to be called from a ``run_until`` goal predicate (so it
+        runs before every step); cost is one tuple compare per step.
+        """
+        now = self.system.clock
+        current = self._signals()
+        if current != self._last:
+            self._last = current
+            self._last_change = now
+            return
+        if now - self._last_change >= self.window:
+            self.stalled = self._diagnose(now)
+            raise StallDetected(self.stalled)
+
+    def _diagnose(self, now: int) -> str:
+        parts = [
+            f"STALLED: no progress for {self.window} steps (clock={now})"
+        ]
+        if self._describe_pending is not None:
+            parts.append(f"pending: {self._describe_pending()}")
+        if self._network is not None:
+            describe = getattr(self._network, "describe_suppression", None)
+            if describe is not None:
+                parts.append(describe(now))
+        return "; ".join(parts)

@@ -1,0 +1,250 @@
+"""Declarative fault plans: seeded, replayable, fingerprint-stable.
+
+A :class:`FaultPlan` is built from a tuple-of-tuples *spec* — the same
+hashable shape scenario parameters use, so a plan travels inside a
+:class:`repro.scenarios.Scenario` unchanged and survives the corpus
+loader's JSON round trip. The vocabulary:
+
+* ``("drop", src, dst, p)`` — drop each matching message with
+  probability ``p`` (fair-lossy links: every message is dropped
+  independently, so an infinitely-retransmitted message is delivered
+  eventually).
+* ``("dup", src, dst, p)`` — submit a second copy with probability ``p``.
+* ``("delay", src, dst, p, extra)`` — with probability ``p`` hold the
+  message for ``extra`` additional virtual-time steps before handing it
+  to the wrapped network (large ``extra`` on a few links produces
+  reorder storms).
+* ``("partition", (group, group, ...), start, end)`` — between clocks
+  ``start <= now < end`` (``end=None`` means forever), messages whose
+  endpoints sit in *different* groups are suppressed; a pid absent from
+  every group communicates freely. Both submission and delivery are
+  checked, so messages already in flight when the window opens are cut
+  too.
+* ``("crash", pid, at)`` — crash-stop: from clock ``at`` on, nothing the
+  pid sends is submitted and nothing addressed to it is delivered.
+* ``("crash", pid, at, recover_at)`` — crash-recovery: the suppression
+  window closes at ``recover_at``. This models a process that was
+  unreachable (its volatile protocol state survives); true lose-state
+  recovery would need process-level support.
+
+``src``/``dst`` use ``0`` as a wildcard (pids are ``1..n``). All random
+draws made while *applying* a plan come from a ``random.Random`` seeded
+with the plan's ``seed``, in submission order — identical plans applied
+to identical submission sequences make identical decisions, which is
+what makes faulty runs replayable and shrinkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.fingerprint import digest64
+
+#: Fault kinds a plan spec may contain, with their arities.
+_LINK_KINDS = {"drop": 4, "dup": 4, "delay": 5}
+
+
+def _check_prob(kind: str, prob: Any) -> float:
+    if not isinstance(prob, (int, float)) or not 0.0 <= prob <= 1.0:
+        raise ConfigurationError(f"{kind} probability must be in [0, 1], got {prob!r}")
+    return float(prob)
+
+
+def _check_endpoint(kind: str, which: str, pid: Any) -> int:
+    if not isinstance(pid, int) or isinstance(pid, bool) or pid < 0:
+        raise ConfigurationError(f"{kind} {which} must be a pid or 0 (any), got {pid!r}")
+    return pid
+
+
+@dataclass(frozen=True)
+class _LinkRule:
+    """One probabilistic per-link rule (drop / dup / delay)."""
+
+    kind: str
+    src: int  # 0 = any sender
+    dst: int  # 0 = any destination
+    prob: float
+    extra: int = 0  # delay only
+
+    def matches(self, sender: int, dest: int) -> bool:
+        return (self.src in (0, sender)) and (self.dst in (0, dest))
+
+
+@dataclass(frozen=True)
+class _Partition:
+    """A timed partition window over disjoint process groups."""
+
+    groups: Tuple[frozenset, ...]
+    start: int
+    end: Optional[int]  # None = until the end of the run
+
+    def active(self, now: int) -> bool:
+        return now >= self.start and (self.end is None or now < self.end)
+
+    def cuts(self, sender: int, dest: int, now: int) -> bool:
+        if sender == dest or not self.active(now):
+            return False
+        side_s = side_d = None
+        for index, group in enumerate(self.groups):
+            if sender in group:
+                side_s = index
+            if dest in group:
+                side_d = index
+        return side_s is not None and side_d is not None and side_s != side_d
+
+    def describe(self) -> str:
+        body = "|".join(
+            ",".join(str(pid) for pid in sorted(group)) for group in self.groups
+        )
+        end = "inf" if self.end is None else str(self.end)
+        return f"partition({body})@[{self.start},{end})"
+
+
+@dataclass(frozen=True)
+class _Crash:
+    """Crash-stop (``recover_at=None``) or crash-recovery of one pid."""
+
+    pid: int
+    at: int
+    recover_at: Optional[int] = None
+
+    def down(self, now: int) -> bool:
+        return now >= self.at and (self.recover_at is None or now < self.recover_at)
+
+    def describe(self) -> str:
+        if self.recover_at is None:
+            return f"crash(p{self.pid}@{self.at})"
+        return f"crash(p{self.pid}@[{self.at},{self.recover_at}))"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed, validated fault plan (see module docstring).
+
+    Construct with :meth:`from_spec`; the original spec tuple is kept so
+    the plan fingerprints and reprs exactly as declared.
+    """
+
+    spec: Tuple[Tuple[Any, ...], ...]
+    seed: int = 0
+    link_rules: Tuple[_LinkRule, ...] = field(default=(), compare=False)
+    partitions: Tuple[_Partition, ...] = field(default=(), compare=False)
+    crashes: Tuple[_Crash, ...] = field(default=(), compare=False)
+
+    @classmethod
+    def from_spec(cls, spec: Any, seed: int = 0) -> "FaultPlan":
+        """Parse and validate a declarative spec into a plan."""
+        if not isinstance(spec, (tuple, list)):
+            raise ConfigurationError(f"fault spec must be a tuple of tuples, got {spec!r}")
+        link_rules = []
+        partitions = []
+        crashes = []
+        frozen = []
+        for entry in spec:
+            if not isinstance(entry, (tuple, list)) or not entry:
+                raise ConfigurationError(f"malformed fault entry {entry!r}")
+            entry = tuple(entry)
+            kind = entry[0]
+            if kind in _LINK_KINDS:
+                if len(entry) != _LINK_KINDS[kind]:
+                    raise ConfigurationError(
+                        f"{kind} takes {_LINK_KINDS[kind] - 1} arguments, got {entry!r}"
+                    )
+                src = _check_endpoint(kind, "src", entry[1])
+                dst = _check_endpoint(kind, "dst", entry[2])
+                prob = _check_prob(kind, entry[3])
+                extra = 0
+                if kind == "delay":
+                    extra = entry[4]
+                    if not isinstance(extra, int) or extra < 1:
+                        raise ConfigurationError(
+                            f"delay extra must be a positive int, got {extra!r}"
+                        )
+                link_rules.append(_LinkRule(kind, src, dst, prob, extra))
+            elif kind == "partition":
+                if len(entry) != 4:
+                    raise ConfigurationError(f"partition takes 3 arguments, got {entry!r}")
+                _k, groups, start, end = entry
+                if not isinstance(groups, (tuple, list)) or len(groups) < 2:
+                    raise ConfigurationError(
+                        f"partition needs >= 2 groups, got {groups!r}"
+                    )
+                parsed = tuple(frozenset(group) for group in groups)
+                seen: set = set()
+                for group in parsed:
+                    if not group:
+                        raise ConfigurationError("partition group may not be empty")
+                    if seen & group:
+                        raise ConfigurationError(
+                            f"partition groups must be disjoint, got {groups!r}"
+                        )
+                    seen |= group
+                if end is not None and end <= start:
+                    raise ConfigurationError(
+                        f"partition window must have end > start, got {entry!r}"
+                    )
+                partitions.append(_Partition(parsed, start, end))
+                entry = ("partition", tuple(tuple(sorted(g)) for g in parsed), start, end)
+            elif kind == "crash":
+                if len(entry) not in (3, 4):
+                    raise ConfigurationError(f"crash takes 2 or 3 arguments, got {entry!r}")
+                pid = entry[1]
+                if not isinstance(pid, int) or pid < 1:
+                    raise ConfigurationError(f"crash pid must be >= 1, got {pid!r}")
+                at = entry[2]
+                recover_at = entry[3] if len(entry) == 4 else None
+                if recover_at is not None and recover_at <= at:
+                    raise ConfigurationError(
+                        f"crash recovery must be after the crash, got {entry!r}"
+                    )
+                crashes.append(_Crash(pid, at, recover_at))
+            else:
+                raise ConfigurationError(f"unknown fault kind {kind!r} in {entry!r}")
+            frozen.append(entry)
+        return cls(
+            spec=tuple(frozen),
+            seed=seed,
+            link_rules=tuple(link_rules),
+            partitions=tuple(partitions),
+            crashes=tuple(crashes),
+        )
+
+    # ------------------------------------------------------------------
+    def crashed(self, pid: int, now: int) -> bool:
+        """Whether ``pid`` is down at clock ``now``."""
+        for crash in self.crashes:
+            if crash.pid == pid and crash.down(now):
+                return True
+        return False
+
+    def partitioned(self, sender: int, dest: int, now: int) -> bool:
+        """Whether an active partition window cuts ``sender -> dest``."""
+        for partition in self.partitions:
+            if partition.cuts(sender, dest, now):
+                return True
+        return False
+
+    def crashed_pids(self, now: int) -> Tuple[int, ...]:
+        """Pids down at clock ``now`` (for diagnoses)."""
+        return tuple(
+            sorted({crash.pid for crash in self.crashes if crash.down(now)})
+        )
+
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> int:
+        """64-bit digest of the declared spec + seed (stable identity)."""
+        return digest64(f"faultplan\x00{self.seed}\x00{self.spec!r}")
+
+    def describe(self) -> str:
+        """Compact human summary used in STALLED diagnoses."""
+        parts = []
+        for rule in self.link_rules:
+            src = "*" if rule.src == 0 else str(rule.src)
+            dst = "*" if rule.dst == 0 else str(rule.dst)
+            tail = f",+{rule.extra}" if rule.kind == "delay" else ""
+            parts.append(f"{rule.kind}({src}->{dst},p={rule.prob:g}{tail})")
+        parts.extend(partition.describe() for partition in self.partitions)
+        parts.extend(crash.describe() for crash in self.crashes)
+        return " ".join(parts) if parts else "no-faults"

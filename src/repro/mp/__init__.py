@@ -11,7 +11,7 @@ from repro.mp.adapter import (
     translated_op,
 )
 from repro.mp.authenticated_broadcast import AuthenticatedBroadcast
-from repro.mp.network import RandomDelayNetwork, ScriptedNetwork
+from repro.mp.network import Network, RandomDelayNetwork, ScriptedNetwork
 from repro.mp.swmr_emulation import (
     EmulatedRegisterSpec,
     RegisterEmulation,
@@ -21,6 +21,7 @@ from repro.mp.swmr_emulation import (
 __all__ = [
     "AuthenticatedBroadcast",
     "EmulatedRegisterSpec",
+    "Network",
     "RandomDelayNetwork",
     "RegisterEmulation",
     "ReplicaState",

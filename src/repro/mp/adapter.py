@@ -19,6 +19,12 @@ Caveats (documented in DESIGN.md's substitution notes):
 * The emulation provides regular (not fully atomic) semantics under
   read/write concurrency; E9's schedules keep low-level writes
   non-overlapping, where the two coincide.
+* The translation inherits the emulation's *channel* assumption: over
+  the default reliable network nothing extra is needed, while over a
+  fair-lossy :class:`repro.faults.FaultyNetwork` the emulation must be
+  constructed with ``channels=RetransmitChannels(...)`` — the adapter
+  is transport-agnostic, so translated algorithms ride the retransmit
+  layer without change.
 """
 
 from __future__ import annotations

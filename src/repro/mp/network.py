@@ -24,9 +24,37 @@ import heapq
 import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Protocol, Tuple, runtime_checkable
 
 from repro.errors import NetworkError
+from repro.sim.fingerprint import digest64
+
+
+@runtime_checkable
+class Network(Protocol):
+    """The kernel's network hook contract (``System.network``).
+
+    Every network — :class:`RandomDelayNetwork`, :class:`ScriptedNetwork`,
+    :class:`repro.faults.FaultyNetwork` — implements exactly this
+    surface toward the kernel: the kernel calls :meth:`submit` for each
+    outgoing ``Send``/``Broadcast`` destination and :meth:`tick` once
+    per step before resuming the chosen coroutine; :meth:`pending`
+    reports in-flight messages for drain checks and progress metrics.
+    ``tests/test_network_protocol.py`` drives every implementation
+    through one conformance driver against this protocol.
+    """
+
+    def submit(self, sender: int, dest: int, payload: Any, now: int) -> None:
+        """Accept one outgoing message at clock ``now``."""
+        ...
+
+    def tick(self, now: int, system: Any) -> None:
+        """Deliver whatever is due at clock ``now`` via ``system.deliver``."""
+        ...
+
+    def pending(self) -> int:
+        """Messages accepted but not yet delivered (or suppressed)."""
+        ...
 
 
 @dataclass(order=True)
@@ -38,6 +66,20 @@ class _QueuedMessage:
     sender: int = field(compare=False)
     dest: int = field(compare=False)
     payload: Any = field(compare=False)
+
+
+def _queued_digest(message: _QueuedMessage) -> int:
+    """Fingerprint digest of one in-flight message.
+
+    Unlike the rest of :meth:`repro.sim.System.fingerprint`, the due
+    time and tiebreak *are* folded in: both determine future delivery
+    order, so two states differing only there must not collapse in the
+    explorer's memo table.
+    """
+    return digest64(
+        f"net\x00{message.due}\x00{message.tiebreak}\x00{message.sender}"
+        f"\x00{message.dest}\x00{message.payload!r}"
+    )
 
 
 class RandomDelayNetwork:
@@ -60,6 +102,7 @@ class RandomDelayNetwork:
         self._max = max_delay
         self._heap: List[_QueuedMessage] = []
         self._tiebreak = itertools.count()
+        self._fold = 0
         #: Total messages ever submitted (metrics).
         self.submitted = 0
         #: Total messages delivered into mailboxes (metrics).
@@ -68,28 +111,44 @@ class RandomDelayNetwork:
     def submit(self, sender: int, dest: int, payload: Any, now: int) -> None:
         """Queue a message for future delivery (kernel hook)."""
         delay = self._rng.randint(self._min, self._max)
-        heapq.heappush(
-            self._heap,
-            _QueuedMessage(
-                due=now + delay,
-                tiebreak=next(self._tiebreak),
-                sender=sender,
-                dest=dest,
-                payload=payload,
-            ),
+        message = _QueuedMessage(
+            due=now + delay,
+            tiebreak=next(self._tiebreak),
+            sender=sender,
+            dest=dest,
+            payload=payload,
         )
+        heapq.heappush(self._heap, message)
+        self._fold ^= _queued_digest(message)
         self.submitted += 1
 
     def tick(self, now: int, system: Any) -> None:
         """Deliver every message whose due time has arrived (kernel hook)."""
         while self._heap and self._heap[0].due <= now:
             message = heapq.heappop(self._heap)
+            self._fold ^= _queued_digest(message)
             system.deliver(message.sender, message.dest, message.payload)
             self.delivered += 1
 
     def pending(self) -> int:
         """Messages queued but not yet delivered."""
         return len(self._heap)
+
+    def fingerprint_fold(self, full: bool = False) -> int:
+        """XOR fold of the in-flight queue (see ``System.fingerprint``).
+
+        Maintained incrementally — two XORs per submit/deliver, the
+        PR-3 dirty-tracking scheme with a trivially empty dirty set
+        (every mutation updates the fold in place). ``full=True``
+        recomputes from the heap, the oracle the incremental path is
+        pinned against.
+        """
+        if not full:
+            return self._fold
+        fold = 0
+        for message in self._heap:
+            fold ^= _queued_digest(message)
+        return fold
 
 
 class ScriptedNetwork:
@@ -106,17 +165,38 @@ class ScriptedNetwork:
         self._held: List[Tuple[int, int, int, Any]] = []  # (id, sender, dest, payload)
         self._release_queue: List[Tuple[int, int, Any]] = []
         self._next_id = itertools.count()
+        self._held_fold = 0
+        self._queue_fold = 0
         self.submitted = 0
         self.delivered = 0
 
+    @staticmethod
+    def _held_digest(entry: Tuple[int, int, int, Any]) -> int:
+        # Held messages are unordered (the id is the identity; release
+        # picks by id or filter), so the entry digest alone suffices.
+        return digest64(f"scripted-held\x00{entry!r}")
+
+    @staticmethod
+    def _queue_digest(index: int, entry: Tuple[int, int, Any]) -> int:
+        # Released-but-undelivered messages deliver in queue order, so
+        # the position must distinguish otherwise-equal queues.
+        return digest64(f"scripted-queue\x00{index}\x00{entry!r}")
+
+    def _enqueue_release(self, entry: Tuple[int, int, Any]) -> None:
+        self._queue_fold ^= self._queue_digest(len(self._release_queue), entry)
+        self._release_queue.append(entry)
+
     def submit(self, sender: int, dest: int, payload: Any, now: int) -> None:
         """Hold the message until the test releases it."""
-        self._held.append((next(self._next_id), sender, dest, payload))
+        entry = (next(self._next_id), sender, dest, payload)
+        self._held.append(entry)
+        self._held_fold ^= self._held_digest(entry)
         self.submitted += 1
 
     def tick(self, now: int, system: Any) -> None:
         """Deliver everything previously released."""
         queue, self._release_queue = self._release_queue, []
+        self._queue_fold = 0
         for sender, dest, payload in queue:
             system.deliver(sender, dest, payload)
             self.delivered += 1
@@ -130,8 +210,10 @@ class ScriptedNetwork:
         """Release one held message by id."""
         for index, (mid, sender, dest, payload) in enumerate(self._held):
             if mid == message_id:
+                entry = self._held[index]
                 del self._held[index]
-                self._release_queue.append((sender, dest, payload))
+                self._held_fold ^= self._held_digest(entry)
+                self._enqueue_release((sender, dest, payload))
                 return
         raise NetworkError(f"no held message with id {message_id}")
 
@@ -150,7 +232,8 @@ class ScriptedNetwork:
                 dest is None or msg_dest == dest
             )
             if matches and (limit is None or released < limit):
-                self._release_queue.append((msg_sender, msg_dest, payload))
+                self._held_fold ^= self._held_digest(entry)
+                self._enqueue_release((msg_sender, msg_dest, payload))
                 released += 1
             else:
                 remaining.append(entry)
@@ -164,3 +247,14 @@ class ScriptedNetwork:
     def pending(self) -> int:
         """Held plus released-but-undelivered message count."""
         return len(self._held) + len(self._release_queue)
+
+    def fingerprint_fold(self, full: bool = False) -> int:
+        """XOR fold of held + released-undelivered messages."""
+        if not full:
+            return self._held_fold ^ self._queue_fold
+        fold = 0
+        for entry in self._held:
+            fold ^= self._held_digest(entry)
+        for index, entry in enumerate(self._release_queue):
+            fold ^= self._queue_digest(index, entry)
+        return fold

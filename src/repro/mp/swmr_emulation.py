@@ -40,6 +40,27 @@ because fabrication needs ``f + 1`` matching liars). Full atomicity
 additionally needs the reader write-back round of [11]; see DESIGN.md's
 substitution note. E9's layered experiment uses schedules with
 non-overlapping low-level writes, for which regular and atomic coincide.
+
+Substitution notes (the assumptions this module *substitutes* for the
+paper's model, and where each one is discharged):
+
+* **Reliable channels** — [11] assumes them; the default network
+  (:class:`repro.mp.RandomDelayNetwork`) provides them. Over a
+  fair-lossy :class:`repro.faults.FaultyNetwork` the assumption is
+  rebuilt by passing ``channels=`` a
+  :class:`repro.faults.RetransmitChannels`: every protocol message is
+  then framed ``("CH", seq, payload)`` with ACK + seqno dedup +
+  backoff retransmission, and the replica daemon doubles as the
+  channel pump (unframing inbound traffic, emitting due retransmits
+  each loop). Without channels over a lossy network, liveness is
+  forfeit — exactly what the campaign's pinned ``STALLED`` cells
+  measure.
+* **Read termination** — the read loop re-queries so withheld replies
+  cannot stall it; the re-query is *paced* (interval doubles from
+  ``requery_every`` up to 16x) so an unconfirmable read does not flood
+  the network while it waits.
+* **SWSR restrictions / atomicity vs regularity** — unchanged from the
+  original notes above (enforced by callers; write-back optional).
 """
 
 from __future__ import annotations
@@ -79,11 +100,16 @@ class ReplicaState:
         self.acks: Dict[Tuple[str, int], Set[int]] = {}
         #: VALUE reports for this process's reads: (reg, rid) -> per-sender.
         self.value_reports: Dict[Tuple[str, int], Dict[int, Tuple[int, Any]]] = {}
+        #: Monotone count of state *changes* (adoptions, fresh votes,
+        #: fresh acks, changed reports) — a progress signal; duplicate
+        #: or stale messages leave it untouched.
+        self.version = 0
 
     def maybe_adopt(self, name: str, seq: int, value: Any) -> bool:
         """Adopt ``(seq, value)`` if strictly newer; returns adoption."""
         if seq > self.accepted[name][0]:
             self.accepted[name] = (seq, value)
+            self.version += 1
             return True
         return False
 
@@ -94,6 +120,12 @@ class RegisterEmulation:
     Args:
         system: A system with a network installed (``system.network``).
         f: Fault bound the emulation is configured for.
+        channels: Optional :class:`repro.faults.RetransmitChannels`.
+            When given, every protocol message travels channel-framed
+            (ACK + dedup + retransmit) and the replica daemons pump the
+            channel layer — restoring the reliable-channel assumption
+            over a fair-lossy network. ``None`` keeps bare
+            ``Send``/``Broadcast`` (correct over reliable networks).
 
     Usage: declare registers with :meth:`add_register`, spawn
     :meth:`replica_program` on every correct process, then run the
@@ -101,16 +133,45 @@ class RegisterEmulation:
     same processes.
     """
 
-    def __init__(self, system: System, f: Optional[int] = None):
+    def __init__(
+        self,
+        system: System,
+        f: Optional[int] = None,
+        channels: Optional[Any] = None,
+    ):
         if system.network is None:
             raise ConfigurationError("RegisterEmulation requires a network")
         self.system = system
         self.f = system.f if f is None else f
         self.n = system.n
+        self.channels = channels
         self._specs: Dict[str, EmulatedRegisterSpec] = {}
         self._write_seq: Dict[str, int] = {}
         self._read_id: Dict[int, int] = {}
         self._states: Dict[int, ReplicaState] = {}
+
+    # ------------------------------------------------------------------
+    # Transport: bare effects or channel-framed, decided once
+    # ------------------------------------------------------------------
+    def _send_effects(self, pid: int, dest: int, payload: Any) -> List[Any]:
+        if self.channels is not None:
+            return self.channels.send_effects(pid, dest, payload)
+        return [Send(dest, payload)]
+
+    def _broadcast_effects(self, pid: int, payload: Any) -> List[Any]:
+        if self.channels is not None:
+            return self.channels.broadcast_effects(pid, payload)
+        return [Broadcast(payload)]
+
+    def progress_version(self) -> int:
+        """Monotone counter of protocol-state changes across all replicas.
+
+        Bumped by adoptions, fresh echo votes, fresh ACKs, and changed
+        VALUE reports — the "accepted" side of the progress signals a
+        :class:`repro.faults.ProgressMonitor` watches. Retransmissions
+        and duplicate messages do not move it.
+        """
+        return sum(state.version for state in self._states.values())
 
     # ------------------------------------------------------------------
     def add_register(self, name: str, writer: int, initial: Any = None) -> None:
@@ -136,14 +197,29 @@ class RegisterEmulation:
     # Replica daemon — sole mailbox consumer of its process
     # ------------------------------------------------------------------
     def replica_program(self, pid: int) -> Program:
-        """The message-handling daemon every correct process runs."""
+        """The message-handling daemon every correct process runs.
+
+        With channels installed it is also the channel pump: each loop
+        emits the process's due retransmits, and inbound traffic is
+        unframed (acked / deduped) before protocol handling.
+        """
         state = self.state_of(pid)
+        channels = self.channels
         while True:
             messages = yield ReceiveAll()
+            if channels is not None:
+                for effect in channels.due_retransmits(pid, self.system.clock):
+                    yield effect
             if not messages:
                 yield Pause()
                 continue
             for sender, payload in messages:
+                if channels is not None:
+                    payload, ack_effects = channels.on_receive(pid, sender, payload)
+                    for effect in ack_effects:
+                        yield effect
+                    if payload is None:
+                        continue
                 for effect in self._handle(pid, state, sender, payload):
                     yield effect
 
@@ -169,8 +245,8 @@ class RegisterEmulation:
                 key = (name, seq, value)
                 if key not in state.echoed:
                     state.echoed.add(key)
-                    out.append(Broadcast(("ECHO", name, seq, value)))
-                out.append(Send(spec.writer, ("ACK", name, seq)))
+                    out.extend(self._broadcast_effects(pid, ("ECHO", name, seq, value)))
+                out.extend(self._send_effects(pid, spec.writer, ("ACK", name, seq)))
         elif kind == "ECHO" and len(payload) == 4:
             _k, name, seq, value = payload
             if (
@@ -181,17 +257,23 @@ class RegisterEmulation:
             ):
                 key = (name, seq, value)
                 votes = state.echo_votes.setdefault(key, set())
-                votes.add(sender)
+                if sender not in votes:
+                    votes.add(sender)
+                    state.version += 1
                 if len(votes) >= self.f + 1:
                     state.maybe_adopt(name, seq, value)
                     if key not in state.echoed:
                         state.echoed.add(key)
-                        out.append(Broadcast(("ECHO", name, seq, value)))
+                        out.extend(
+                            self._broadcast_effects(pid, ("ECHO", name, seq, value))
+                        )
         elif kind == "READ" and len(payload) == 3:
             _k, name, rid = payload
             if name in self._specs:
                 seq, value = state.accepted[name]
-                out.append(Send(sender, ("VALUE", name, rid, seq, value)))
+                out.extend(
+                    self._send_effects(pid, sender, ("VALUE", name, rid, seq, value))
+                )
         elif kind == "PULL" and len(payload) == 5:
             _k, name, seq, value, wb_id = payload
             if (
@@ -205,15 +287,23 @@ class RegisterEmulation:
                 # through PULL (adoption still requires the writer or
                 # f + 1 echoes), so write-back is abuse-proof.
                 if state.accepted[name][0] >= seq:
-                    out.append(Send(sender, ("PULL-ACK", name, wb_id)))
+                    out.extend(
+                        self._send_effects(pid, sender, ("PULL-ACK", name, wb_id))
+                    )
         elif kind == "PULL-ACK" and len(payload) == 3:
             _k, name, wb_id = payload
             if name in self._specs and isinstance(wb_id, int):
-                state.acks.setdefault((name, -wb_id), set()).add(sender)
+                acks = state.acks.setdefault((name, -wb_id), set())
+                if sender not in acks:
+                    acks.add(sender)
+                    state.version += 1
         elif kind == "ACK" and len(payload) == 3:
             _k, name, seq = payload
             if name in self._specs and isinstance(seq, int):
-                state.acks.setdefault((name, seq), set()).add(sender)
+                acks = state.acks.setdefault((name, seq), set())
+                if sender not in acks:
+                    acks.add(sender)
+                    state.version += 1
         elif kind == "VALUE" and len(payload) == 5:
             _k, name, rid, seq, value = payload
             if (
@@ -223,7 +313,9 @@ class RegisterEmulation:
                 and not isinstance(seq, bool)
             ):
                 reports = state.value_reports.setdefault((name, rid), {})
-                reports[sender] = (seq, value)
+                if reports.get(sender) != (seq, value):
+                    reports[sender] = (seq, value)
+                    state.version += 1
         return out
 
     # ------------------------------------------------------------------
@@ -245,7 +337,8 @@ class RegisterEmulation:
         # The writer is also a replica: adopt and self-ack before sending.
         state.maybe_adopt(name, seq, value)
         state.acks.setdefault((name, seq), set()).add(pid)
-        yield Broadcast(("WRITE", name, seq, value))
+        for effect in self._broadcast_effects(pid, ("WRITE", name, seq, value)):
+            yield effect
         while len(state.acks[(name, seq)]) < self.n - self.f:
             yield Pause()
         return "done"
@@ -259,8 +352,12 @@ class RegisterEmulation:
     ) -> Program:
         """Emulated ``read()``; returns a value confirmed by ``f + 1``.
 
-        Re-broadcasts the query periodically so replies withheld by
-        Byzantine replicas or raced by timing cannot stall it.
+        Re-broadcasts the query so replies withheld by Byzantine
+        replicas or raced by timing cannot stall it. The re-query is
+        *paced*: the first fires after ``requery_every`` polls and the
+        interval doubles up to ``16 * requery_every``, so an
+        unconfirmable read (e.g. under a partition) backs off instead
+        of flooding the network.
 
         With ``write_back=True`` the reader additionally performs the
         [11]-style write-back round before returning: it broadcasts a
@@ -279,8 +376,11 @@ class RegisterEmulation:
         state = self.state_of(pid)
         reports = state.value_reports.setdefault((name, rid), {})
         reports[pid] = state.accepted[name]
-        yield Broadcast(("READ", name, rid))
+        for effect in self._broadcast_effects(pid, ("READ", name, rid)):
+            yield effect
         polls = 0
+        interval = requery_every
+        next_requery = requery_every
         while True:
             # Refresh own report — the local replica may have adopted a
             # newer pair since the read began.
@@ -290,8 +390,11 @@ class RegisterEmulation:
             if confirmed is not None:
                 break
             polls += 1
-            if polls % requery_every == 0:
-                yield Broadcast(("READ", name, rid))
+            if polls >= next_requery:
+                interval = min(interval * 2, requery_every * 16)
+                next_requery = polls + interval
+                for effect in self._broadcast_effects(pid, ("READ", name, rid)):
+                    yield effect
             yield Pause()
         seq, value = confirmed
         if write_back and seq > 0:
@@ -307,12 +410,20 @@ class RegisterEmulation:
         state = self.state_of(pid)
         acks = state.acks.setdefault((name, -wb_id), set())
         acks.add(pid)
-        yield Broadcast(("PULL", name, seq, value, wb_id))
+        for effect in self._broadcast_effects(pid, ("PULL", name, seq, value, wb_id)):
+            yield effect
         polls = 0
+        interval = requery_every
+        next_requery = requery_every
         while len(acks) < self.n - self.f:
             polls += 1
-            if polls % requery_every == 0:
-                yield Broadcast(("PULL", name, seq, value, wb_id))
+            if polls >= next_requery:
+                interval = min(interval * 2, requery_every * 16)
+                next_requery = polls + interval
+                for effect in self._broadcast_effects(
+                    pid, ("PULL", name, seq, value, wb_id)
+                ):
+                    yield effect
             yield Pause()
 
     def _best_confirmed(

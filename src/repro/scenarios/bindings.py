@@ -37,6 +37,7 @@ from repro.spec.sequential import (
     AssetTransferSpec,
     AuthenticatedRegisterSpec,
     BroadcastSpec,
+    RegularRegisterSpec,
     SequentialSpec,
     SnapshotSpec,
     StickyRegisterSpec,
@@ -149,6 +150,14 @@ FAMILY_BINDINGS: Dict[str, OracleBinding] = {
         OracleBinding(
             family="reliable_broadcast",
             spec_factory=lambda initial=0: BroadcastSpec(),
+        ),
+        # The message-passing SWMR emulation is judged as the plain
+        # register it emulates; the fault plan changes *whether a run
+        # completes* (the STALLED liveness verdict), never the spec a
+        # completed run must linearize against.
+        OracleBinding(
+            family="mp_emulation",
+            spec_factory=_value_spec(RegularRegisterSpec),
         ),
     )
 }

@@ -18,7 +18,11 @@ does lazily on the first registry query) registers:
   fault boundaries, with their differential expectations pinned;
 * the Byzantine-updater snapshot boundary (the embedded-scan freshness
   fix) and the broadcast families — appended after the PR-5 app cells,
-  same prefix contract.
+  same prefix contract;
+* the message-passing emulation under fault injection (clean under
+  fair-lossy + retransmit and under ``<= f`` crash-stop, pinned
+  ``STALLED`` under quorum-starving plans) — appended last, same
+  prefix contract.
 
 Registration order is contract: ``repro.campaign.default_matrix`` is a
 ``grid(consumer=...)`` query and materializes cells in this order, and
@@ -38,6 +42,7 @@ from repro.scenarios.registry import ScenarioRecord, make_scenario, register
 # module also provides the grid helper the register families reuse.
 from repro.explore.scenarios import adversary_grid
 import repro.scenarios.apps  # noqa: F401  (registers snapshot/asset builders)
+import repro.scenarios.mp_emulation  # noqa: F401  (registers mp_register builder)
 
 #: How many adversary mixes per register family the CI smoke subset keeps.
 SMOKE_MIXES = 2
@@ -304,6 +309,56 @@ def _register_broadcast_families() -> None:
         )
 
 
+def _register_mp_emulation() -> None:
+    """The message-passing emulation under fault injection (PR 8).
+
+    Five pinned cells (see :mod:`repro.scenarios.mp_emulation`):
+
+    * reliable-network baseline — clean (the reference verdicts);
+    * fair-lossy + duplication + reorder delays with the retransmit
+      channel layer — clean, verdicts byte-identical to the baseline
+      (the reliable-channel assumption rebuilt over lossy links);
+    * one crash-stop replica (``<= f``, a non-client pid) — clean,
+      byte-identical too (the ``n - f`` quorums never needed pid n);
+    * total drop of the writer's outgoing links *without* retransmit —
+      ``STALLED`` (the write can never assemble its quorum; reads of
+      the initial value still complete);
+    * a whole-run 2|2 partition even *with* retransmit — ``STALLED``
+      (no side holds ``n - f = 3``; retransmission cannot defeat a
+      quorum-starving partition).
+
+    The STALLED cells are ``expect_violation=True``: a stall *is* the
+    violation, and its shrunk counterexample persists to ``corpus/``
+    like any safety finding.
+    """
+    lossy = (("drop", 0, 0, 0.25), ("dup", 0, 0, 0.1), ("delay", 0, 0, 0.15, 9))
+    writer_cut = (("drop", 1, 0, 1.0),)
+    split = (("partition", ((1, 2), (3, 4)), 0, None),)
+    for faults, retransmit, expect, consumers in (
+        ((), False, False, ("campaign", "smoke", "bench")),
+        (lossy, True, False, ("campaign", "smoke", "bench")),
+        ((("crash", 4, 0),), False, False, ("campaign", "smoke")),
+        (writer_cut, False, True, ("campaign", "smoke")),
+        (split, True, True, ("campaign", "smoke")),
+    ):
+        params = dict(n=4, f=1, seed=0)
+        if faults:
+            params["faults"] = faults
+        if retransmit:
+            params["retransmit"] = True
+        register(
+            ScenarioRecord(
+                family="mp_emulation",
+                n=4,
+                f=1,
+                spec=make_scenario("mp_register", **params),
+                engine="swarm",
+                expect_violation=expect,
+                consumers=consumers,
+            )
+        )
+
+
 _register_alg_families()
 _register_baseline_and_strawman()
 _register_test_or_set()
@@ -311,3 +366,4 @@ _register_extra_grids()
 _register_apps()
 _register_freshness_boundary()
 _register_broadcast_families()
+_register_mp_emulation()

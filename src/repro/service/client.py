@@ -55,12 +55,27 @@ class CellVerdict:
     recorded_at: float
 
     def describe(self) -> str:
-        """The one-shot campaign's progress-line rendering, from the row."""
-        found = (
-            f"{len(self.class_fingerprints)} violation class(es)"
-            if self.class_fingerprints
-            else "clean"
+        """The one-shot campaign's progress-line rendering, from the row.
+
+        Stall classes are derived from the recorded fingerprints (the
+        digit-masked ``STALLED:`` diagnoses survive masking), so the
+        wording matches ``CellOutcome.describe`` without widening the
+        verdict row schema or the machine-comparable payload.
+        """
+        stalls = sum(
+            1 for fp in self.class_fingerprints if "STALLED:" in fp
         )
+        if not self.class_fingerprints:
+            found = "clean"
+        elif stalls == len(self.class_fingerprints):
+            found = f"{len(self.class_fingerprints)} stall class(es)"
+        elif stalls:
+            found = (
+                f"{len(self.class_fingerprints)} violation class(es), "
+                f"{stalls} stall(s)"
+            )
+        else:
+            found = f"{len(self.class_fingerprints)} violation class(es)"
         verdict = "as expected" if self.ok else "UNEXPECTED"
         rate = self.runs / self.elapsed if self.elapsed > 0 else 0.0
         return (

@@ -645,6 +645,19 @@ class System:
         two paths must agree on every reachable state
         (``tests/test_fingerprint_incremental.py`` holds them to it).
         """
+        # In-flight network messages are forward-relevant (two states
+        # differing only in undelivered messages diverge later), so the
+        # network's own incremental fold — which, unlike every other
+        # component, includes delivery times — XORs into the mailbox
+        # component. Domain-separated item prefixes ("mbox" vs "net")
+        # keep the two from cancelling; shared-memory systems (network
+        # is None) fingerprint exactly as before.
+        network = self.network
+        net_fold = 0
+        if network is not None:
+            fold = getattr(network, "fingerprint_fold", None)
+            if fold is not None:
+                net_fold = fold(full=full)
         if full:
             mbox = 0
             for pid, box in self._mailboxes.items():
@@ -654,7 +667,7 @@ class System:
                 cos ^= self._co_digest(cid, co)
             return combine64(
                 self.registers.fingerprint_fold(full=True),
-                mbox,
+                mbox ^ net_fold,
                 self.history.fingerprint_fold(full=True),
                 cos,
             )
@@ -666,7 +679,7 @@ class System:
             self._co_dirty.update(self._coroutines)
         return combine64(
             self.registers.fingerprint_fold(),
-            self._flush_mailbox_fold(),
+            self._flush_mailbox_fold() ^ net_fold,
             self.history.fingerprint_fold(),
             self._flush_coroutine_fold(),
         )

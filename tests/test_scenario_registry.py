@@ -293,16 +293,16 @@ class TestGrownMatrix:
             )
 
     def test_new_cells_append_after_the_historical_prefix(self):
-        # Registration order is contract: the freshness-boundary and
-        # broadcast cells must extend the matrix, never reorder it —
-        # every pre-existing cell keeps its index.
+        # Registration order is contract: the freshness-boundary,
+        # broadcast, and mp-emulation cells must extend the matrix,
+        # never reorder it — every pre-existing cell keeps its index.
         labels = [
             (c.implementation, c.scenario.label()) for c in default_matrix()
         ]
         new = [
             index
             for index, (family, label) in enumerate(labels)
-            if family in ("broadcast", "reliable_broadcast")
+            if family in ("broadcast", "reliable_broadcast", "mp_emulation")
             or "byzantine_updater" in label
         ]
         old = [index for index in range(len(labels)) if index not in new]
