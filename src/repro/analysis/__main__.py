@@ -13,6 +13,9 @@ Usage::
     python -m repro.analysis campaign --status           # ...verdicts + drift
     python -m repro.analysis bench --smoke      # perf-regression matrix
     python -m repro.analysis scenarios --list   # unified scenario registry
+    python -m repro.analysis net --clients 50   # live socket cluster + load
+    python -m repro.analysis net --cell <label> # a pinned live smoke cell
+    python -m repro.analysis net --check ev.json  # offline evidence re-check
 
 This is the no-pytest path to EXPERIMENTS.md's tables — useful for
 quick inspection or for environments without pytest-benchmark. Each
@@ -42,6 +45,13 @@ The ``bench`` subcommand runs the fixed perf-regression matrix
 (``repro.analysis.bench``) and writes ``BENCH_kernel.json``; with
 ``--compare`` it warns — without failing — when a cell regressed
 against a committed baseline.
+
+The ``net`` subcommand drives ``repro.net``, the live-network runtime:
+an n-process cluster on localhost TCP sockets with socket-layer chaos
+injection, wall-clock retransmit channels, a stall-to-verdict progress
+monitor, and online linearizability checking of sampled history
+windows (``--serve`` / ``--probe`` / ``--check`` for the remote and
+offline paths).
 """
 
 from __future__ import annotations
@@ -881,6 +891,10 @@ def main(argv: Sequence[str]) -> int:
         from repro.analysis.bench import main as bench_main
 
         return bench_main(list(argv[1:]))
+    if argv and argv[0].lower() == "net":
+        from repro.analysis.net import main as net_main
+
+        return net_main(list(argv[1:]))
     wanted = [arg.upper() for arg in argv] or list(ALL_IDS)
     failures: List[str] = []
     for exp_id in wanted:

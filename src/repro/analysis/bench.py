@@ -513,6 +513,34 @@ def _bench_service_queue(smoke: bool) -> Dict[str, float]:
     return {"ops_per_s": ops / elapsed}
 
 
+def _bench_net_loadgen(smoke: bool) -> Dict[str, float]:
+    """Live-network runtime throughput: loaded ops/s over real sockets.
+
+    Deploys the fault-free ``repro.net`` cluster (4 nodes, localhost
+    TCP, wall-clock retransmit channels) and drives the default
+    read/write/transfer/balance mix through it, asserting every sampled
+    window comes back CLEAN from the online oracle. The metric is
+    end-to-end operation throughput — framing, socket hops, quorum
+    round trips, history recording and the per-round window checks all
+    included — so it tracks the live stack the way ``mp.emulation``
+    tracks the virtual-time one.
+    """
+    from repro.net import LiveProfile, run_live
+
+    profile = LiveProfile(
+        n=4,
+        f=1,
+        clients=12 if smoke else 40,
+        rounds=1 if smoke else 2,
+        ops_per_client=3,
+        label="bench.net",
+    )
+    report = run_live(profile)
+    if not report.clean:
+        raise RuntimeError(f"bench net cell not clean: {report.verdict}")
+    return {"ops_per_s": float(report.load["ops_per_s"])}
+
+
 #: The fixed matrix: name -> zero-arg driver returning the cell metrics.
 #: Drivers are lazy so :func:`run_bench` can calibrate *per cell*.
 def _matrix(smoke: bool) -> List[Tuple[str, Any]]:
@@ -528,6 +556,7 @@ def _matrix(smoke: bool) -> List[Tuple[str, Any]]:
         ("campaign.apps", lambda: _bench_campaign_apps(smoke)),
         ("mp.emulation", lambda: _bench_mp_emulation(smoke)),
         ("service.queue", lambda: _bench_service_queue(smoke)),
+        ("net.loadgen", lambda: _bench_net_loadgen(smoke)),
     ]
     # Fork-engine crossover probe: only meaningful (and only run) where
     # forked siblings can actually overlap. CI's multi-core runners

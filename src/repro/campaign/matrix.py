@@ -53,14 +53,18 @@ from repro.scenarios.registry import ENGINES  # noqa: F401  (re-export)
 
 def __getattr__(name: str):
     # ``IMPLEMENTATIONS`` — the implementation families the default
-    # campaign covers: every family with at least one record in the
-    # unified scenario registry (the six ``repro.core`` families plus
-    # the paper-level applications). Computed on attribute access, not
-    # snapshotted at import: families registered later through the
-    # public ``repro.scenarios.register`` API must show up, and the
-    # module stays importable without forcing the full catalog load.
+    # campaign covers: every family with at least one campaign-consumer
+    # record in the unified scenario registry (the six ``repro.core``
+    # families plus the paper-level applications). Live-only families
+    # (engine ``"live"``, e.g. the ``net`` socket runtime) are registry
+    # members but excluded here: their cells execute on wall clocks
+    # through ``python -m repro.analysis net``, never as campaign
+    # cells. Computed on attribute access, not snapshotted at import:
+    # families registered later through the public
+    # ``repro.scenarios.register`` API must show up, and the module
+    # stays importable without forcing the full catalog load.
     if name == "IMPLEMENTATIONS":
-        return _registry.registered_families()
+        return _registry.registered_families(consumer="campaign")
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -244,7 +248,7 @@ def default_matrix(
     find an expected violation fails the campaign loudly rather than
     being silently floored.
     """
-    families = _registry.registered_families()
+    families = _registry.registered_families(consumer="campaign")
     wanted = tuple(implementations) if implementations else families
     for implementation in wanted:
         if implementation not in families:

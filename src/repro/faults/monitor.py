@@ -45,6 +45,11 @@ class ProgressMonitor:
         network: Optional network whose ``describe_suppression(now)``
             explains what a fault plan is cutting (a
             :class:`repro.faults.FaultyNetwork`).
+        channels: Optional :class:`repro.faults.RetransmitChannels` the
+            monitored system sends through. Attaching it arms the
+            footgun check: a stall window at or below the channels'
+            capped backoff reads every legitimate retransmit gap as a
+            stall, so that configuration is rejected loudly.
     """
 
     def __init__(
@@ -54,9 +59,16 @@ class ProgressMonitor:
         window: int = 2_500,
         describe_pending: Optional[Callable[[], str]] = None,
         network: Optional[Any] = None,
+        channels: Optional[Any] = None,
     ):
         if window < 1:
             raise ConfigurationError(f"stall window must be >= 1, got {window}")
+        if channels is not None and window <= channels.max_backoff:
+            raise ConfigurationError(
+                f"stall window {window} steps must exceed the retransmit "
+                f"layer's capped backoff ({channels.max_backoff} steps): a "
+                f"legitimate retransmit gap would read as a stall"
+            )
         self.system = system
         self.window = window
         self._signals = signals

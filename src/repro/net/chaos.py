@@ -1,0 +1,253 @@
+"""Socket-layer chaos: the PR 8 fault vocabulary applied to real TCP.
+
+A :class:`ChaosProxy` fronts one destination node: every peer dials the
+proxy's port instead of the node's, the handshake identifies the
+sender, and each ``msg`` frame is then subjected to the *unchanged*
+:class:`repro.faults.FaultPlan` — drop / dup / delay link rules, timed
+group partitions, and crash windows — at frame granularity. Faulting at
+the socket layer (rather than inside the node) keeps the node code
+honest: a dropped frame really never arrives, a duplicated frame really
+arrives twice, a delayed frame really overtakes its successors.
+
+Determinism: each link rule draws from its own ``random.Random`` stream
+seeded with ``(plan.seed, destination pid, rule index)``, so a rule's
+decision sequence depends only on the frames *that rule* examined —
+identical plans over identical per-link frame sequences make identical
+decisions, per rule, mirroring the virtual-time layer's replayability
+contract as closely as a real network allows.
+
+Plan times (partition windows, crash windows) are interpreted as
+**milliseconds since the cluster epoch** on the shared
+:class:`ChaosClock`; all processes live on one host, so one monotonic
+clock is genuinely global. Crash faults are suppressed here (nothing
+reaches a crashed node, nothing a crashed node sends is forwarded) and
+*enacted* by the cluster orchestrator, which stops the node process and
+— for crash-recovery windows — restarts it through the node's recovery
+protocol.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.faults.plan import FaultPlan
+from repro.net import wire
+
+
+class ChaosClock:
+    """Milliseconds since the cluster epoch — the plan's time axis."""
+
+    def __init__(self) -> None:
+        self._epoch = time.monotonic()
+
+    def now(self) -> int:
+        return int((time.monotonic() - self._epoch) * 1000)
+
+
+class ChaosProxy:
+    """A faulting TCP proxy in front of one node.
+
+    Args:
+        plan: The parsed fault plan (shared by every proxy of a run).
+        dest: Pid of the node this proxy fronts.
+        backend: ``(host, port)`` of the real node.
+        clock: The run's shared :class:`ChaosClock`.
+        host: Interface to listen on.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        dest: int,
+        backend: Tuple[str, int],
+        clock: ChaosClock,
+        host: str = "127.0.0.1",
+    ):
+        self.plan = plan
+        self.dest = dest
+        self.backend = backend
+        self.clock = clock
+        self.host = host
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._rngs = [
+            random.Random(f"chaos:{plan.seed}:{dest}:{index}")
+            for index in range(len(plan.link_rules))
+        ]
+        # Metrics (key-compatible with FaultyNetwork where they overlap).
+        self.forwarded = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+        self.partitioned = 0
+        self.suppressed_crash = 0
+        #: (src, dst) -> suppression count, for the STALLED diagnosis.
+        self.suppressed_links: Dict[Tuple[int, int], int] = {}
+        self._delay_tasks: set = set()
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(self._serve, self.host, 0)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._delay_tasks):
+            task.cancel()
+        self._delay_tasks.clear()
+
+    # ------------------------------------------------------------------
+    async def _serve(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One inbound peer connection: handshake, then fault every frame."""
+        backend_writer: Optional[asyncio.StreamWriter] = None
+        write_lock = asyncio.Lock()
+        try:
+            hello = await wire.read_doc(reader)
+            if hello is None or hello.get("t") != "hello":
+                return
+            sender = int(hello.get("pid", 0))
+            backend_writer = await self._dial(hello)
+            while True:
+                doc = await wire.read_doc(reader)
+                if doc is None:
+                    return
+                if doc.get("t") != "msg":
+                    await self._forward(backend_writer, write_lock, doc)
+                    continue
+                await self._apply(sender, doc, backend_writer, write_lock)
+        except (ConnectionError, OSError):
+            return
+        except asyncio.CancelledError:
+            # Absorbed so loop teardown doesn't report cancelled
+            # connection handlers as callback errors.
+            return
+        finally:
+            for stream in (writer, backend_writer):
+                if stream is not None:
+                    stream.close()
+
+    async def _dial(self, hello_doc: Dict[str, Any]) -> asyncio.StreamWriter:
+        host, port = self.backend
+        _reader, backend_writer = await asyncio.open_connection(host, port)
+        backend_writer.write(wire.encode(hello_doc))
+        await backend_writer.drain()
+        return backend_writer
+
+    async def _forward(
+        self,
+        backend_writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+        doc: Dict[str, Any],
+    ) -> None:
+        async with lock:
+            backend_writer.write(wire.encode(doc))
+            await backend_writer.drain()
+
+    async def _apply(
+        self,
+        sender: int,
+        doc: Dict[str, Any],
+        backend_writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        """Run one protocol frame through the plan; forward the survivors."""
+        now = self.clock.now()
+        if self.plan.crashed(sender, now) or self.plan.crashed(self.dest, now):
+            self.suppressed_crash += 1
+            self._suppress(sender)
+            return
+        if self.plan.partitioned(sender, self.dest, now):
+            self.partitioned += 1
+            self._suppress(sender)
+            return
+        copies = 1
+        delay_ms = 0
+        for index, rule in enumerate(self.plan.link_rules):
+            if not rule.matches(sender, self.dest):
+                continue
+            draw = self._rngs[index].random()
+            if rule.kind == "drop":
+                if draw < rule.prob:
+                    self.dropped += 1
+                    self._suppress(sender)
+                    return
+            elif rule.kind == "dup":
+                if draw < rule.prob:
+                    self.duplicated += 1
+                    copies += 1
+            elif rule.kind == "delay":
+                if draw < rule.prob:
+                    self.delayed += 1
+                    delay_ms += rule.extra
+        for _ in range(copies):
+            if delay_ms:
+                task = asyncio.ensure_future(
+                    self._deliver_late(backend_writer, lock, doc, delay_ms)
+                )
+                self._delay_tasks.add(task)
+                task.add_done_callback(self._delay_tasks.discard)
+            else:
+                await self._forward(backend_writer, lock, doc)
+                self.forwarded += 1
+
+    async def _deliver_late(
+        self,
+        backend_writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+        doc: Dict[str, Any],
+        delay_ms: int,
+    ) -> None:
+        await asyncio.sleep(delay_ms / 1000.0)
+        try:
+            await self._forward(backend_writer, lock, doc)
+            self.forwarded += 1
+        except (ConnectionError, OSError):
+            pass
+
+    def _suppress(self, sender: int) -> None:
+        key = (sender, self.dest)
+        self.suppressed_links[key] = self.suppressed_links.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, int]:
+        return {
+            "forwarded": self.forwarded,
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+            "partitioned": self.partitioned,
+            "suppressed_crash": self.suppressed_crash,
+        }
+
+
+def describe_suppression(
+    plan: FaultPlan, proxies: Dict[int, ChaosProxy], now: int
+) -> str:
+    """One-line cluster-wide suppression summary (the STALLED diagnosis).
+
+    Same shape as :meth:`repro.faults.FaultyNetwork.describe_suppression`
+    — ``plan[...] down=... cut=src->dst:count`` — aggregated over every
+    proxy so the diagnosis names the starved links regardless of which
+    destination they starve.
+    """
+    parts = [f"plan[{plan.describe()}]"]
+    crashed = plan.crashed_pids(now)
+    if crashed:
+        parts.append("down=" + ",".join(f"p{pid}" for pid in crashed))
+    links: Dict[Tuple[int, int], int] = {}
+    for proxy in proxies.values():
+        for key, count in proxy.suppressed_links.items():
+            links[key] = links.get(key, 0) + count
+    if links:
+        top = sorted(links.items(), key=lambda item: -item[1])[:4]
+        parts.append(
+            "cut=" + ",".join(f"{src}->{dst}:{count}" for (src, dst), count in top)
+        )
+    return " ".join(parts)

@@ -1,0 +1,113 @@
+"""Wall-clock stall-to-verdict monitoring for live clusters.
+
+The virtual-time :class:`repro.faults.ProgressMonitor` samples progress
+signals from inside a drive loop's goal predicate; a live cluster has
+no such loop, so this port runs as an asyncio task that samples on a
+poll interval and flips an :class:`asyncio.Event` instead of raising —
+the orchestrator races the load against that event and converts it into
+the same first-class ``STALLED`` verdict, with the same diagnosis shape
+(pending operations plus what the fault plan is suppressing).
+
+The window-vs-backoff footgun is validated here exactly as in the
+virtual-time layer: a window that does not exceed every attached
+retransmit channel's capped backoff would report phantom stalls during
+legitimate retransmit gaps, so construction rejects it loudly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Callable, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class WallClockProgressMonitor:
+    """Flag a stall once progress signals stop moving for ``window`` seconds.
+
+    Args:
+        signals: Zero-argument callable returning a comparable tuple of
+            progress counters; any change resets the window. Counters
+            must track *useful* events (responses, protocol-state
+            adoptions) — retransmission sends and deduped duplicates
+            are not progress.
+        window: Seconds without a signal change before the verdict.
+        poll: Sampling interval (default ``window / 20``, floored at
+            10ms).
+        describe_pending: Optional callable summarizing the operations
+            still in flight (folded into the diagnosis).
+        describe_suppression: Optional callable explaining what the
+            chaos layer is cutting (the proxies' aggregate view).
+        channels: Retransmit channel layers attached to the cluster;
+            the window must exceed every one's ``max_backoff`` or
+            construction raises :class:`ConfigurationError`.
+    """
+
+    def __init__(
+        self,
+        signals: Callable[[], Tuple],
+        window: float = 2.0,
+        poll: Optional[float] = None,
+        describe_pending: Optional[Callable[[], str]] = None,
+        describe_suppression: Optional[Callable[[], str]] = None,
+        channels: Sequence[Any] = (),
+    ):
+        if window <= 0:
+            raise ConfigurationError(f"stall window must be > 0, got {window}")
+        for channel in channels:
+            if window <= channel.max_backoff:
+                raise ConfigurationError(
+                    f"stall window {window}s must exceed the retransmit "
+                    f"layer's capped backoff ({channel.max_backoff}s): a "
+                    f"legitimate retransmit gap would read as a stall"
+                )
+        self.window = window
+        self.poll = max(window / 20.0, 0.01) if poll is None else poll
+        self._signals = signals
+        self._describe_pending = describe_pending
+        self._describe_suppression = describe_suppression
+        self._task: Optional[asyncio.Task] = None
+        #: Set once the stall verdict fires; the diagnosis is in
+        #: :attr:`stalled`.
+        self.stalled_event = asyncio.Event()
+        self.stalled: Optional[str] = None
+
+    def start(self) -> None:
+        """Begin sampling (idempotent)."""
+        if self._task is None:
+            self._task = asyncio.ensure_future(self._run())
+
+    async def stop(self) -> None:
+        """Cancel the sampling task."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    async def _run(self) -> None:
+        last = self._signals()
+        last_change = time.monotonic()
+        while True:
+            await asyncio.sleep(self.poll)
+            now = time.monotonic()
+            current = self._signals()
+            if current != last:
+                last = current
+                last_change = now
+                continue
+            if now - last_change >= self.window:
+                self.stalled = self._diagnose()
+                self.stalled_event.set()
+                return
+
+    def _diagnose(self) -> str:
+        parts = [f"STALLED: no progress for {self.window:g}s (wall clock)"]
+        if self._describe_pending is not None:
+            parts.append(f"pending: {self._describe_pending()}")
+        if self._describe_suppression is not None:
+            parts.append(self._describe_suppression())
+        return "; ".join(parts)

@@ -1,0 +1,708 @@
+"""One live cluster process: replica, client API, and TCP server.
+
+This is the wall-clock port of :class:`repro.mp.RegisterEmulation` — the
+same echo-amplified quorum protocol ([11]-style), the same message
+grammar (``WRITE`` / ``ECHO`` / ``ACK`` / ``READ`` / ``VALUE`` /
+``PULL`` / ``PULL-ACK``), running over real sockets instead of the
+cooperative scheduler:
+
+* Every node is a replica for every emulated register, holding the
+  highest accepted ``(seq, value)`` pair; adoption requires the
+  register's true writer or ``f + 1`` matching echoes.
+* ``write``: bump the sequence number, self-adopt, broadcast ``WRITE``,
+  wait for ``n - f`` ``ACK``\\ s.
+* ``read``: broadcast ``READ``, wait for a pair confirmed by ``f + 1``
+  identical ``VALUE`` reports, then — by default, unlike the
+  virtual-time scenarios — run the [11] write-back round (``PULL`` until
+  ``n - f`` replicas hold at least the selected sequence number). The
+  live load generator runs hundreds of genuinely concurrent clients, so
+  the new/old-inversion window regular semantics leave open *will* be
+  hit; write-back closes it, and the online oracle checks full
+  linearizability.
+* ``transfer`` / ``balance``: the asset-transfer object derived from
+  one append-only ledger register per account (``led:P``, written only
+  by its owner): ``balance(a) = initial + credits(a) - debits(a)`` over
+  quorum-read ledgers, transfers solvency-checked under a per-owner
+  lock. Debits depend on the credits that funded them, so per-register
+  regular+write-back semantics make the derived object linearizable —
+  which is exactly what the sampled-window oracle verifies live.
+
+Blocking waits are paced: a waiting operation re-broadcasts its query
+on an exponentially growing interval (capped at 16x), so an
+unsatisfiable wait backs off instead of flooding — the progress monitor,
+not a flood, is what turns it into a verdict.
+
+Crash faults: :meth:`stop` closes the server and drops all connection
+state (frames in flight are genuinely lost); :meth:`restart` models a
+*lose-state* restart — protocol state is reset and rebuilt by a
+recovery round that collects ``VALUE`` reports from ``n - f - 1``
+*other* replicas per register and adopts the newest (with no Byzantine
+processes in the live runtime, ``n - f - 1 > f`` reporters always
+include one that saw every completed write). Until recovery finishes
+the node answers no ``READ``\\ s — silence is indistinguishable from
+slowness, so rejoining is safe; channel sequence counters survive the
+restart so the retransmit layer's dedup stays sound.
+
+Processes trust the connection handshake to identify the sender — the
+authenticated-channels assumption, discharged on localhost. The live
+runtime injects crash and network faults, not Byzantine replicas.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.net import wire
+from repro.net.channels import WallClockChannels
+
+#: How long a peer-writer backs off after a failed dial/send.
+_RECONNECT_PAUSE = 0.02
+
+
+class NetNode:
+    """One process of the live cluster.
+
+    Args:
+        pid: This node's pid (``1..n``).
+        n: Cluster size.
+        f: Fault bound (quorums are ``n - f``, confirmations ``f + 1``).
+        registers: ``name -> (writer pid, initial value)`` for every
+            emulated register (identical on every node).
+        history: Optional :class:`repro.net.oracle.LiveHistory`; client
+            operations record invocation/response events into it.
+        channels: Optional :class:`WallClockChannels` — frame all
+            protocol traffic with ACK + dedup + retransmission.
+        accounts: Account pids of the asset-transfer object (each must
+            have a ``led:P`` ledger register), or ``None``.
+        initial_balance: Starting balance of every account.
+        requery: Base pacing interval (seconds) for blocking waits.
+        host: Interface to serve on.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        f: int,
+        registers: Dict[str, Tuple[int, Any]],
+        history: Optional[Any] = None,
+        channels: Optional[WallClockChannels] = None,
+        accounts: Optional[Tuple[int, ...]] = None,
+        initial_balance: int = 0,
+        requery: float = 0.05,
+        host: str = "127.0.0.1",
+    ):
+        if not 1 <= pid <= n:
+            raise ConfigurationError(f"pid {pid} outside 1..{n}")
+        for name, (writer, _initial) in registers.items():
+            if not 1 <= writer <= n:
+                raise ConfigurationError(f"register {name!r} writer {writer} outside 1..{n}")
+        if accounts:
+            for account in accounts:
+                if f"led:{account}" not in registers:
+                    raise ConfigurationError(
+                        f"account {account} has no ledger register led:{account}"
+                    )
+        self.pid = pid
+        self.n = n
+        self.f = f
+        self.registers = dict(registers)
+        self.history = history
+        self.channels = channels
+        self.accounts = tuple(accounts) if accounts else ()
+        self.initial_balance = initial_balance
+        self.requery = requery
+        self.host = host
+        self.port: Optional[int] = None
+        self._routes: Dict[int, Tuple[str, int]] = {}
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._serving = False
+        self._tasks: List[asyncio.Task] = []
+        self._out: Dict[int, asyncio.Queue] = {}
+        self._connections: Set[asyncio.StreamWriter] = set()
+        self._cond = asyncio.Condition()
+        self._notify_pending = False
+        self._recovered = asyncio.Event()
+        self._recovered.set()
+        self._write_locks = {name: asyncio.Lock() for name in registers}
+        self._transfer_lock = asyncio.Lock()
+        #: Protocol frames delivered to this node (post-dedup traffic
+        #: included; duplicates are dropped before this counts).
+        self.delivered = 0
+        self._reset_protocol_state()
+
+    def _reset_protocol_state(self) -> None:
+        self.accepted: Dict[str, Tuple[int, Any]] = {
+            name: (0, wire.freeze(initial))
+            for name, (_writer, initial) in self.registers.items()
+        }
+        self.echo_votes: Dict[Tuple[str, int, Any], Set[int]] = {}
+        self.echoed: Set[Tuple[str, int, Any]] = set()
+        self.acks: Dict[Tuple[str, int], Set[int]] = {}
+        self.value_reports: Dict[Tuple[str, int], Dict[int, Tuple[int, Any]]] = {}
+        self._write_seq: Dict[str, int] = {name: 0 for name in self.registers}
+        self._read_id = 0
+        #: Monotone count of protocol-state changes (adoptions, fresh
+        #: votes/acks, changed reports) — the progress signal the
+        #: wall-clock monitor watches. Retransmissions and duplicates
+        #: do not move it.
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Open the server (on a fresh port, or the old one on restart)."""
+        self._server = await asyncio.start_server(
+            self._accept, self.host, self.port or 0
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._serving = True
+        if self.channels is not None:
+            self._tasks.append(asyncio.ensure_future(self._retransmit_pump()))
+
+    def set_routes(self, routes: Dict[int, Tuple[str, int]]) -> None:
+        """Where to dial each peer (a chaos proxy front, or the node itself)."""
+        self._routes = dict(routes)
+
+    async def stop(self) -> None:
+        """Crash-stop: close the server, drop every connection and queue."""
+        self._serving = False
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks = []
+        for writer in list(self._connections):
+            writer.close()
+        self._connections.clear()
+        self._out.clear()
+
+    async def restart(self) -> None:
+        """Lose-state restart: reset, rejoin, recover before serving reads.
+
+        The channel layer's sequence counters survive (so peers' dedup
+        state stays consistent), but its pending frames do not — they
+        were volatile.
+        """
+        self._reset_protocol_state()
+        if self.channels is not None:
+            self.channels._pending.clear()
+        self._recovered.clear()
+        await self.start()
+        await self._recover()
+        self._recovered.set()
+        self._notify()
+
+    async def _recover(self) -> None:
+        """Adopt, per register, the newest pair among n-f-1 other replicas."""
+        for name in self.registers:
+            self._read_id += 1
+            rid = self._read_id
+            reports = self.value_reports.setdefault((name, rid), {})
+            query = ("READ", name, rid)
+            self._broadcast(query)
+
+            def others() -> List[Tuple[int, Any]]:
+                return [pair for sender, pair in reports.items() if sender != self.pid]
+
+            await self._paced_wait(
+                lambda: len(others()) >= self.n - self.f - 1,
+                lambda: self._broadcast(query),
+            )
+            best = max(others(), key=lambda pair: pair[0])
+            if best[0] > self.accepted[name][0]:
+                self.accepted[name] = best
+                self.version += 1
+            writer, _initial = self.registers[name]
+            if writer == self.pid:
+                self._write_seq[name] = max(self._write_seq[name], best[0])
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _send(self, dst: int, payload: Any) -> None:
+        if dst == self.pid:
+            self._deliver(self.pid, payload, framed=False)
+            return
+        if self.channels is not None:
+            payload = self.channels.frame(dst, payload, time.monotonic())
+        self._enqueue(dst, payload)
+
+    def _send_raw(self, dst: int, payload: Any) -> None:
+        """Send outside the channel layer (channel ACKs must not recurse)."""
+        if dst == self.pid:
+            return
+        self._enqueue(dst, payload)
+
+    def _broadcast(self, payload: Any) -> None:
+        for dst in range(1, self.n + 1):
+            self._send(dst, payload)
+
+    def _enqueue(self, dst: int, payload: Any) -> None:
+        if not self._serving:
+            return
+        queue = self._out.get(dst)
+        if queue is None:
+            queue = self._out[dst] = asyncio.Queue()
+            self._tasks.append(asyncio.ensure_future(self._peer_writer(dst, queue)))
+        queue.put_nowait(wire.msg(payload))
+
+    async def _peer_writer(self, dst: int, queue: asyncio.Queue) -> None:
+        """Drain one peer's outbound queue; drop frames while the link is down.
+
+        Dropping (instead of blocking on reconnection) gives bare TCP
+        the lossy-link semantics a crashed peer implies; the channel
+        layer's retransmission is what rebuilds reliability on top.
+        """
+        writer: Optional[asyncio.StreamWriter] = None
+        try:
+            while True:
+                doc = await queue.get()
+                try:
+                    if writer is None:
+                        route = self._routes.get(dst)
+                        if route is None:
+                            continue
+                        _reader, writer = await asyncio.open_connection(*route)
+                        writer.write(wire.encode(wire.hello(self.pid)))
+                    writer.write(wire.encode(doc))
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    if writer is not None:
+                        writer.close()
+                        writer = None
+                    await asyncio.sleep(_RECONNECT_PAUSE)
+        finally:
+            if writer is not None:
+                writer.close()
+
+    async def _retransmit_pump(self) -> None:
+        assert self.channels is not None
+        while True:
+            await asyncio.sleep(self.channels.base_timeout / 2)
+            for dst, payload in self.channels.due_retransmits(time.monotonic()):
+                self._enqueue(dst, payload)
+
+    # ------------------------------------------------------------------
+    # Inbound
+    # ------------------------------------------------------------------
+    async def _accept(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            hello = await wire.read_doc(reader)
+            if hello is None or hello.get("t") != "hello":
+                return
+            sender = int(hello.get("pid", 0))
+            if sender >= 1:
+                await self._peer_session(sender, reader)
+            else:
+                await self._client_session(reader, writer)
+        except (ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            # Absorbed, not re-raised: connection-handler tasks are
+            # cancelled wholesale at loop teardown, and a cancelled
+            # handler would be reported as a spurious callback error.
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+
+    async def _peer_session(self, sender: int, reader: asyncio.StreamReader) -> None:
+        while True:
+            doc = await wire.read_doc(reader)
+            if doc is None:
+                return
+            if doc.get("t") == "msg":
+                self._deliver(sender, wire.freeze(doc["m"]), framed=True)
+
+    def _deliver(self, sender: int, payload: Any, framed: bool) -> None:
+        if framed and self.channels is not None:
+            inner, acks = self.channels.on_receive(sender, payload)
+            for ack in acks:
+                self._send_raw(sender, ack)
+            if inner is None:
+                return
+            payload = inner
+        self.delivered += 1
+        self._handle(sender, payload)
+        self._notify()
+
+    async def _client_session(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        pending: Set[asyncio.Task] = set()
+        try:
+            while True:
+                doc = await wire.read_doc(reader)
+                if doc is None:
+                    return
+                if doc.get("t") != "req":
+                    continue
+                task = asyncio.ensure_future(
+                    self._serve_request(writer, write_lock, doc)
+                )
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+        finally:
+            for task in pending:
+                task.cancel()
+
+    async def _serve_request(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        doc: Dict[str, Any],
+    ) -> None:
+        op = doc.get("op")
+        args = wire.freeze(doc.get("args", ()))
+        try:
+            if op == "read":
+                value = await self.read(args[0])
+            elif op == "write":
+                value = await self.write(args[0], args[1])
+            elif op == "transfer":
+                value = await self.transfer(args[0], args[1])
+            elif op == "balance":
+                value = await self.balance(args[0])
+            elif op == "info":
+                value = {
+                    "pid": self.pid,
+                    "n": self.n,
+                    "f": self.f,
+                    "registers": sorted(self.registers),
+                    "accounts": list(self.accounts),
+                }
+            else:
+                raise ConfigurationError(f"unknown client op {op!r}")
+            response = {"t": "res", "id": doc.get("id"), "ok": True, "value": value}
+        except Exception as exc:  # surfaced to the client, not swallowed
+            response = {
+                "t": "res",
+                "id": doc.get("id"),
+                "ok": False,
+                "value": f"{type(exc).__name__}: {exc}",
+            }
+        try:
+            async with write_lock:
+                writer.write(wire.encode(response))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    # ------------------------------------------------------------------
+    # Replica protocol (the virtual-time _handle, ported verbatim)
+    # ------------------------------------------------------------------
+    def _handle(self, sender: int, payload: Any) -> None:
+        if not isinstance(payload, tuple) or not payload:
+            return
+        kind = payload[0]
+        if kind == "WRITE" and len(payload) == 4:
+            _k, name, seq, value = payload
+            entry = self.registers.get(name)
+            if (
+                entry is not None
+                and sender == entry[0]
+                and isinstance(seq, int)
+                and not isinstance(seq, bool)
+                and seq > 0
+            ):
+                self._maybe_adopt(name, seq, value)
+                key = (name, seq, value)
+                if key not in self.echoed:
+                    self.echoed.add(key)
+                    self._broadcast(("ECHO", name, seq, value))
+                self._send(entry[0], ("ACK", name, seq))
+        elif kind == "ECHO" and len(payload) == 4:
+            _k, name, seq, value = payload
+            if (
+                name in self.registers
+                and isinstance(seq, int)
+                and not isinstance(seq, bool)
+                and seq > 0
+            ):
+                key = (name, seq, value)
+                votes = self.echo_votes.setdefault(key, set())
+                if sender not in votes:
+                    votes.add(sender)
+                    self.version += 1
+                if len(votes) >= self.f + 1:
+                    self._maybe_adopt(name, seq, value)
+                    if key not in self.echoed:
+                        self.echoed.add(key)
+                        self._broadcast(("ECHO", name, seq, value))
+        elif kind == "READ" and len(payload) == 3:
+            _k, name, rid = payload
+            # A recovering replica stays silent: its reset state could
+            # otherwise confirm a stale pair for some reader.
+            if name in self.registers and self._recovered.is_set():
+                seq, value = self.accepted[name]
+                self._send(sender, ("VALUE", name, rid, seq, value))
+        elif kind == "PULL" and len(payload) == 5:
+            _k, name, seq, value, wb_id = payload
+            if (
+                name in self.registers
+                and isinstance(seq, int)
+                and not isinstance(seq, bool)
+                and isinstance(wb_id, int)
+            ):
+                if self.accepted[name][0] >= seq:
+                    self._send(sender, ("PULL-ACK", name, wb_id))
+        elif kind == "PULL-ACK" and len(payload) == 3:
+            _k, name, wb_id = payload
+            if name in self.registers and isinstance(wb_id, int):
+                acks = self.acks.setdefault((name, -wb_id), set())
+                if sender not in acks:
+                    acks.add(sender)
+                    self.version += 1
+        elif kind == "ACK" and len(payload) == 3:
+            _k, name, seq = payload
+            if name in self.registers and isinstance(seq, int):
+                acks = self.acks.setdefault((name, seq), set())
+                if sender not in acks:
+                    acks.add(sender)
+                    self.version += 1
+        elif kind == "VALUE" and len(payload) == 5:
+            _k, name, rid, seq, value = payload
+            if (
+                name in self.registers
+                and isinstance(rid, int)
+                and isinstance(seq, int)
+                and not isinstance(seq, bool)
+            ):
+                reports = self.value_reports.setdefault((name, rid), {})
+                if reports.get(sender) != (seq, value):
+                    reports[sender] = (seq, value)
+                    self.version += 1
+
+    def _maybe_adopt(self, name: str, seq: int, value: Any) -> None:
+        if seq > self.accepted[name][0]:
+            self.accepted[name] = (seq, value)
+            self.version += 1
+
+    # ------------------------------------------------------------------
+    # Waiting
+    # ------------------------------------------------------------------
+    def _notify(self) -> None:
+        if self._notify_pending:
+            return
+        self._notify_pending = True
+        asyncio.ensure_future(self._do_notify())
+
+    async def _do_notify(self) -> None:
+        self._notify_pending = False
+        async with self._cond:
+            self._cond.notify_all()
+
+    async def _paced_wait(self, predicate, rebroadcast) -> None:
+        """Wait for ``predicate``; re-issue the query on a backoff pacing."""
+        interval = self.requery
+        deadline = time.monotonic() + interval
+        while not predicate():
+            timeout = deadline - time.monotonic()
+            if timeout <= 0:
+                rebroadcast()
+                interval = min(interval * 2, self.requery * 16)
+                deadline = time.monotonic() + interval
+                continue
+            async with self._cond:
+                try:
+                    await asyncio.wait_for(self._cond.wait(), timeout)
+                except asyncio.TimeoutError:
+                    pass
+
+    # ------------------------------------------------------------------
+    # Client operations
+    # ------------------------------------------------------------------
+    def _invoke(self, obj: str, op: str, args: Tuple[Any, ...]) -> Optional[int]:
+        if self.history is None:
+            return None
+        return self.history.invoke(self.pid, obj, op, args)
+
+    def _respond(self, op_id: Optional[int], result: Any) -> None:
+        if op_id is not None and self.history is not None:
+            self.history.respond(op_id, result)
+
+    async def write(self, name: str, value: Any, record: bool = True) -> str:
+        """Emulated ``write``; returns once ``n - f`` replicas acked."""
+        entry = self.registers.get(name)
+        if entry is None:
+            raise ConfigurationError(f"unknown emulated register {name!r}")
+        if entry[0] != self.pid:
+            raise ConfigurationError(
+                f"p{self.pid} is not the writer of emulated register {name!r}"
+            )
+        async with self._write_locks[name]:
+            op_id = self._invoke(name, "write", (value,)) if record else None
+            self._write_seq[name] += 1
+            seq = self._write_seq[name]
+            value = wire.freeze(value)
+            self._maybe_adopt(name, seq, value)
+            self.acks.setdefault((name, seq), set()).add(self.pid)
+            message = ("WRITE", name, seq, value)
+            self._broadcast(message)
+            # The ack set is looked up on every check (never captured):
+            # a crash-restart mid-wait resets the protocol dicts, and the
+            # paced rebroadcast then repopulates the *new* ones.
+            await self._paced_wait(
+                lambda: len(self.acks.get((name, seq), ())) >= self.n - self.f,
+                lambda: self._broadcast(message),
+            )
+            # A restart mid-wait may have recovered a lower write
+            # counter than this in-flight sequence number; completing
+            # below it would let the next write collide.
+            self._write_seq[name] = max(self._write_seq[name], seq)
+            self._respond(op_id, "done")
+        return "done"
+
+    async def read(
+        self, name: str, record: bool = True, write_back: bool = True
+    ) -> Any:
+        """Emulated ``read``; a pair confirmed by ``f + 1``, written back."""
+        if name not in self.registers:
+            raise ConfigurationError(f"unknown emulated register {name!r}")
+        op_id = self._invoke(name, "read", ()) if record else None
+        value = await self._read_inner(name, write_back=write_back)
+        self._respond(op_id, value)
+        return value
+
+    async def _read_inner(self, name: str, write_back: bool = True) -> Any:
+        self._read_id += 1
+        rid = self._read_id
+        self.value_reports.setdefault((name, rid), {})[self.pid] = self.accepted[name]
+        query = ("READ", name, rid)
+        self._broadcast(query)
+        confirmed: Optional[Tuple[int, Any]] = None
+
+        def check() -> bool:
+            nonlocal confirmed
+            # Re-looked-up (not captured) so the wait survives a
+            # crash-restart resetting the protocol dicts mid-flight.
+            reports = self.value_reports.setdefault((name, rid), {})
+            own = reports.get(self.pid, (0, None))
+            if self.accepted[name][0] > own[0]:
+                reports[self.pid] = self.accepted[name]
+            confirmed = self._best_confirmed(reports)
+            return confirmed is not None
+
+        await self._paced_wait(check, lambda: self._broadcast(query))
+        seq, value = confirmed
+        if write_back and seq > 0:
+            await self._write_back(name, seq, value)
+        return value
+
+    async def _write_back(self, name: str, seq: int, value: Any) -> None:
+        self._read_id += 1
+        wb_id = self._read_id
+        self.acks.setdefault((name, -wb_id), set()).add(self.pid)
+        pull = ("PULL", name, seq, value, wb_id)
+        self._broadcast(pull)
+        await self._paced_wait(
+            lambda: len(self.acks.get((name, -wb_id), ())) >= self.n - self.f,
+            lambda: self._broadcast(pull),
+        )
+
+    def _best_confirmed(
+        self, reports: Dict[int, Tuple[int, Any]]
+    ) -> Optional[Tuple[int, Any]]:
+        tally: Dict[Tuple[int, Any], int] = {}
+        for pair in reports.values():
+            tally[pair] = tally.get(pair, 0) + 1
+        confirmed = [pair for pair, count in tally.items() if count >= self.f + 1]
+        if not confirmed:
+            return None
+        return max(confirmed, key=lambda pair: pair[0])
+
+    # ------------------------------------------------------------------
+    # Asset transfer over ledger registers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _ledger(account: int) -> str:
+        return f"led:{account}"
+
+    def _require_account(self, account: Any) -> None:
+        if account not in self.accounts:
+            raise ConfigurationError(
+                f"unknown account {account!r}; tracked: {self.accounts}"
+            )
+
+    async def _ledgers(self) -> Dict[int, Tuple[Tuple[int, int], ...]]:
+        values = await asyncio.gather(
+            *[
+                self._read_inner(self._ledger(account), write_back=True)
+                for account in self.accounts
+            ]
+        )
+        return dict(zip(self.accounts, values))
+
+    def _balance_from(
+        self, ledgers: Dict[int, Tuple[Tuple[int, int], ...]], account: int
+    ) -> int:
+        balance = self.initial_balance
+        for owner, entries in ledgers.items():
+            for to, amount in entries:
+                if owner == account:
+                    balance -= amount
+                if to == account:
+                    balance += amount
+        return balance
+
+    async def transfer(self, to: int, amount: int, record: bool = True) -> str:
+        """Move ``amount`` from this node's account; ``"ok"``/``"rejected"``."""
+        if not self.accounts:
+            raise ConfigurationError("no asset-transfer object configured")
+        self._require_account(self.pid)
+        self._require_account(to)
+        if not isinstance(amount, int) or isinstance(amount, bool) or amount <= 0:
+            raise ConfigurationError(f"bad transfer amount {amount!r}")
+        async with self._transfer_lock:
+            op_id = (
+                self._invoke("assets", "transfer", (self.pid, to, amount))
+                if record
+                else None
+            )
+            ledgers = await self._ledgers()
+            if self._balance_from(ledgers, self.pid) < amount:
+                result = "rejected"
+            else:
+                updated = ledgers[self.pid] + ((to, amount),)
+                await self.write(self._ledger(self.pid), updated, record=False)
+                result = "ok"
+            self._respond(op_id, result)
+        return result
+
+    async def balance(self, account: int, record: bool = True) -> int:
+        """The account's balance derived from quorum-read ledgers."""
+        if not self.accounts:
+            raise ConfigurationError("no asset-transfer object configured")
+        self._require_account(account)
+        op_id = self._invoke("assets", "balance", (account,)) if record else None
+        ledgers = await self._ledgers()
+        balance = self._balance_from(ledgers, account)
+        self._respond(op_id, balance)
+        return balance
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "pid": self.pid,
+            "delivered": self.delivered,
+            "version": self.version,
+        }
+        if self.channels is not None:
+            out["channels"] = self.channels.metrics()
+        return out

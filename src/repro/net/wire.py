@@ -1,0 +1,82 @@
+"""Wire format of the live-network runtime.
+
+Every connection — node↔node, client↔node, and both legs of a chaos
+proxy — speaks the same framing: a 4-byte big-endian length prefix
+followed by a UTF-8 JSON document. JSON keeps frames inspectable with
+``tcpdump``/``nc`` and round-trips every payload the virtual-time
+protocol uses; the one lossy step (tuples become arrays) is undone on
+receipt by :func:`freeze`, mirroring the corpus loader's
+``_freeze_json`` so protocol payloads stay the hashable tuples the
+emulation logic compares.
+
+Document kinds:
+
+* ``{"t": "hello", "pid": P}`` — first frame of every connection.
+  ``pid >= 1`` identifies a cluster peer (the authenticated-channels
+  assumption, discharged on localhost by trusting the handshake);
+  ``pid == 0`` marks a remote load client.
+* ``{"t": "msg", "m": payload}`` — one protocol payload between peers
+  (possibly channel-framed). This is the only kind a chaos proxy
+  faults; the handshake always passes through.
+* ``{"t": "req", "id": I, "op": O, "args": [...]}`` /
+  ``{"t": "res", "id": I, "ok": B, "value": V}`` — the remote-client
+  request protocol (``read`` / ``write`` / ``transfer`` / ``balance``
+  / ``info``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional
+
+from repro.errors import NetworkError
+
+#: Frames above this are a protocol error, not a slow read.
+MAX_FRAME = 1 << 20
+
+_LEN_BYTES = 4
+
+
+def freeze(value: Any) -> Any:
+    """Recursively turn JSON arrays back into tuples (hashable payloads)."""
+    if isinstance(value, list):
+        return tuple(freeze(item) for item in value)
+    return value
+
+
+def encode(doc: Dict[str, Any]) -> bytes:
+    """One wire frame for ``doc`` (length prefix + compact JSON)."""
+    body = json.dumps(doc, separators=(",", ":"), sort_keys=True).encode()
+    if len(body) > MAX_FRAME:
+        raise NetworkError(f"frame too large: {len(body)} bytes")
+    return len(body).to_bytes(_LEN_BYTES, "big") + body
+
+
+async def read_doc(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+    """The next frame's document, or ``None`` on a clean EOF."""
+    try:
+        header = await reader.readexactly(_LEN_BYTES)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    length = int.from_bytes(header, "big")
+    if length > MAX_FRAME:
+        raise NetworkError(f"frame too large: {length} bytes")
+    try:
+        body = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    doc = json.loads(body.decode())
+    if not isinstance(doc, dict) or "t" not in doc:
+        raise NetworkError(f"malformed frame: {doc!r}")
+    return doc
+
+
+def hello(pid: int) -> Dict[str, Any]:
+    """The handshake document identifying a connection's sender."""
+    return {"t": "hello", "pid": pid}
+
+
+def msg(payload: Any) -> Dict[str, Any]:
+    """A peer protocol frame (the kind chaos proxies fault)."""
+    return {"t": "msg", "m": payload}

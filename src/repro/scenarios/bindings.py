@@ -159,6 +159,15 @@ FAMILY_BINDINGS: Dict[str, OracleBinding] = {
             family="mp_emulation",
             spec_factory=_value_spec(RegularRegisterSpec),
         ),
+        # The live-network runtime (repro.net) serves the same emulated
+        # registers over real sockets; sampled windows are judged
+        # against the same plain-register spec (asset windows build
+        # their AssetTransferSpec from the cluster's accounts inside
+        # the online oracle).
+        OracleBinding(
+            family="net",
+            spec_factory=_value_spec(RegularRegisterSpec),
+        ),
     )
 }
 

@@ -21,8 +21,12 @@ does lazily on the first registry query) registers:
   same prefix contract;
 * the message-passing emulation under fault injection (clean under
   fair-lossy + retransmit and under ``<= f`` crash-stop, pinned
-  ``STALLED`` under quorum-starving plans) — appended last, same
-  prefix contract.
+  ``STALLED`` under quorum-starving plans) — appended after the
+  broadcast families, same prefix contract;
+* the live-network runtime's smoke cells (``engine="live"``,
+  ``consumers=("net",)`` — wall-clock socket clusters driven by
+  ``python -m repro.analysis net``, never by a scheduler) — appended
+  last.
 
 Registration order is contract: ``repro.campaign.default_matrix`` is a
 ``grid(consumer=...)`` query and materializes cells in this order, and
@@ -43,6 +47,7 @@ from repro.scenarios.registry import ScenarioRecord, make_scenario, register
 from repro.explore.scenarios import adversary_grid
 import repro.scenarios.apps  # noqa: F401  (registers snapshot/asset builders)
 import repro.scenarios.mp_emulation  # noqa: F401  (registers mp_register builder)
+import repro.scenarios.net_live  # noqa: F401  (registers net_cluster builder)
 
 #: How many adversary mixes per register family the CI smoke subset keeps.
 SMOKE_MIXES = 2
@@ -359,6 +364,51 @@ def _register_mp_emulation() -> None:
         )
 
 
+def _register_net() -> None:
+    """The live-network runtime's pinned smoke cells (``consumers=net``).
+
+    Three cells, executed by ``python -m repro.analysis net`` on real
+    localhost sockets (engine ``live`` — they refuse to build under a
+    scheduler):
+
+    * fault-free baseline — every sampled window ``CLEAN``;
+    * seeded loss + duplication + reorder delays at the socket layer,
+      with the wall-clock retransmit channels — still ``CLEAN`` (the
+      reliable-channel assumption rebuilt over a real lossy transport);
+    * a whole-run 2|2 partition even with retransmit — pinned
+      ``STALLED`` (``expect_violation=True``): neither side holds
+      ``n - f = 3``, so writes starve and the wall-clock progress
+      monitor converts the hang into the verdict.
+
+    The fault vocabulary and the lossy/split plans deliberately mirror
+    ``_register_mp_emulation`` — same plans, virtual time vs wall
+    clock, same expected verdicts.
+    """
+    lossy = (("drop", 0, 0, 0.2), ("dup", 0, 0, 0.1), ("delay", 0, 0, 0.15, 9))
+    split = (("partition", ((1, 2), (3, 4)), 0, None),)
+    for faults, extra, expect in (
+        ((), {}, False),
+        (lossy, {"fault_seed": 7}, False),
+        (split, {"fault_seed": 3, "window": 1.5, "max_backoff": 0.4}, True),
+    ):
+        params = dict(
+            clients=24, rounds=2, ops_per_client=3, seed=0, **extra
+        )
+        if faults:
+            params["faults"] = faults
+        register(
+            ScenarioRecord(
+                family="net",
+                n=4,
+                f=1,
+                spec=make_scenario("net_cluster", **params),
+                engine="live",
+                expect_violation=expect,
+                consumers=("net",),
+            )
+        )
+
+
 _register_alg_families()
 _register_baseline_and_strawman()
 _register_test_or_set()
@@ -367,3 +417,4 @@ _register_apps()
 _register_freshness_boundary()
 _register_broadcast_families()
 _register_mp_emulation()
+_register_net()

@@ -164,6 +164,7 @@ def build_mp_register(
         window=stall_window,
         describe_pending=describe_pending,
         network=network if network is not inner else None,
+        channels=channels,
     )
     stall: Dict[str, str] = {}
 

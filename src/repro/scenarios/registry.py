@@ -46,13 +46,18 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 
-#: Engines a record may run under (see ``repro.explore``).
-ENGINES = ("swarm", "systematic")
+#: Engines a record may run under. ``swarm``/``systematic`` are the
+#: virtual-time engines (see ``repro.explore``); ``live`` marks records
+#: executed by the wall-clock socket runtime (``repro.net``) — they
+#: carry a :class:`repro.net.LiveProfile` in their params and are driven
+#: through ``python -m repro.analysis net``, not through a scheduler.
+ENGINES = ("swarm", "systematic", "live")
 
 #: The consumer axes a record can opt into. ``smoke`` is the bounded CI
 #: subset of ``campaign``; ``explore``/``bench`` mark the records the
-#: exploration CLI and the perf matrix draw from.
-CONSUMERS = ("campaign", "explore", "bench", "smoke")
+#: exploration CLI and the perf matrix draw from; ``net`` marks the
+#: live-network smoke cells the ``net`` CLI pins.
+CONSUMERS = ("campaign", "explore", "bench", "smoke", "net")
 
 #: Registry of scenario builders, keyed by spec name. Builders must be
 #: importable from worker processes (top level of their module) and
@@ -356,9 +361,17 @@ def known_scenarios() -> Tuple[str, ...]:
     return tuple(sorted(SCENARIO_BUILDERS))
 
 
-def registered_families() -> Tuple[str, ...]:
-    """Every implementation family with at least one record, in order."""
+def registered_families(consumer: Optional[str] = None) -> Tuple[str, ...]:
+    """Every implementation family with at least one record, in order.
+
+    With ``consumer``, only families with at least one record reaching
+    that consumer — e.g. ``consumer="campaign"`` excludes live-only
+    families (engine ``"live"``), whose cells run on wall clocks and
+    can never expand into campaign cells.
+    """
     seen: Dict[str, None] = {}
     for record in all_records():
+        if consumer is not None and consumer not in record.consumers:
+            continue
         seen.setdefault(record.family, None)
     return tuple(seen)

@@ -351,6 +351,49 @@ class TestProgressMonitor:
         with pytest.raises(ConfigurationError):
             ProgressMonitor(_ClockedSystem(), signals=lambda: (), window=0)
 
+    def test_rejects_window_within_channel_backoff(self):
+        # The footgun: a stall window at or below the channels' capped
+        # backoff reads every legitimate retransmit gap as a stall.
+        system = _ClockedSystem()
+        ch = RetransmitChannels(system, base_timeout=4, max_backoff=64)
+        with pytest.raises(ConfigurationError) as info:
+            ProgressMonitor(system, signals=lambda: (), window=64, channels=ch)
+        assert "capped backoff" in str(info.value)
+        # Strictly above the cap is fine, with or without channels.
+        ProgressMonitor(system, signals=lambda: (), window=65, channels=ch)
+        ProgressMonitor(system, signals=lambda: (), window=1, channels=None)
+
+    def test_abandonment_surfaces_as_metrics_plus_stall_not_a_hang(self):
+        # A frame whose destination never acks (a partitioned peer) is
+        # retransmitted up to max_retries, then abandoned: the exhaustion
+        # is a counter, and the *monitor* converts the resulting silence
+        # into the STALLED verdict — abandonment itself never raises.
+        system = _ClockedSystem()
+        ch = RetransmitChannels(
+            system, base_timeout=2, max_backoff=4, max_retries=3
+        )
+        monitor = ProgressMonitor(
+            system,
+            signals=lambda: (ch.acked, ch.duplicates_dropped),
+            window=20,
+            describe_pending=lambda: "p1 write#1/1",
+            channels=ch,
+        )
+        ch.send_effects(1, 2, "x")
+        stalled = None
+        while stalled is None:
+            system.clock += 1
+            ch.due_retransmits(1, system.clock)
+            try:
+                monitor.observe()
+            except StallDetected as exc:
+                stalled = exc.reason
+        metrics = ch.metrics()
+        assert metrics["exhausted"] == 1 and metrics["pending"] == 0
+        assert metrics["retransmitted"] == 3  # the full retry budget
+        assert stalled.startswith("STALLED:")
+        assert "pending: p1 write#1/1" in stalled
+
 
 def _mp_scenario(faults=(), retransmit=False, fault_seed=0):
     params = dict(n=4, f=1, seed=0)

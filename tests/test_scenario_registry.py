@@ -69,7 +69,15 @@ class TestOracleBindings:
             binding_for(record.family)
 
     def test_campaign_families_are_registry_families(self):
-        assert tuple(IMPLEMENTATIONS) == registered_families()
+        # The campaign covers exactly the families with at least one
+        # campaign-consumer record — a subset of the registry, because
+        # live-only families (wall-clock engine) can't expand into
+        # campaign cells.
+        campaign = tuple(IMPLEMENTATIONS)
+        assert campaign == registered_families(consumer="campaign")
+        assert set(campaign) < set(registered_families())
+        assert "net" in registered_families()
+        assert "net" not in campaign
 
     def test_register_kinds_match_bindings(self):
         # The analysis layer's kind list and the registry's kind-carrying
