@@ -336,6 +336,15 @@ def _explore_main(argv: Sequence[str]) -> int:
     )
     parser.add_argument("--mode", choices=("dfs", "bfs"), default="dfs")
     parser.add_argument(
+        "--reduction",
+        choices=("sleep", "dpor", "dpor+symmetry"),
+        default=None,
+        help="systematic pruning strategy: sleep-set baseline, source-set "
+        "dynamic partial-order reduction, or dpor plus interchangeable-"
+        "process symmetry folding (default: what the registry record "
+        "pins, else sleep)",
+    )
+    parser.add_argument(
         "--prefix-sharing",
         choices=("auto", "fork", "replay"),
         default="auto",
@@ -369,7 +378,13 @@ def _explore_main(argv: Sequence[str]) -> int:
     headers = ("phase", "engine", "runs", "runs/s", "states/s", "violations", "note")
     rows: List[Tuple] = []
 
-    def run_phase(phase: str, scenarios, expect_violation: bool) -> bool:
+    def run_phase(
+        phase: str,
+        scenarios,
+        expect_violation: bool,
+        reduction: str = "sleep",
+        symmetry=(),
+    ) -> bool:
         """Run both engines over ``scenarios``; returns found-violation."""
         target = scenarios[0] if len(scenarios) == 1 else None
         found = []
@@ -381,12 +396,14 @@ def _explore_main(argv: Sequence[str]) -> int:
                 budget=args.budget,
                 mode=args.mode,
                 prefix_sharing=args.prefix_sharing,
+                reduction=reduction,
+                symmetry=symmetry,
             )
             print(sys_report.summary())
             rows.append(
                 (
                     phase,
-                    f"systematic/{args.mode}",
+                    f"systematic/{args.mode}/{reduction}",
                     sys_report.runs,
                     round(sys_report.runs_per_sec),
                     round(sys_report.states_per_sec),
@@ -424,10 +441,17 @@ def _explore_main(argv: Sequence[str]) -> int:
         return bool(found)
 
     if args.scenario == "theorem29":
+        from repro.explore import theorem29_symmetry
+
+        reduction = args.reduction or "sleep"
         n = 3 * args.f
         print(f"== phase 1: theorem29 at n = 3f = {n} (violation expected) ==")
         found_at_bound = run_phase(
-            f"n=3f={n}", [make_scenario("theorem29", f=args.f)], expect_violation=True
+            f"n=3f={n}",
+            [make_scenario("theorem29", f=args.f)],
+            expect_violation=True,
+            reduction=reduction,
+            symmetry=theorem29_symmetry(f=args.f),
         )
         clean_control = True
         if not args.no_control:
@@ -437,6 +461,8 @@ def _explore_main(argv: Sequence[str]) -> int:
                 f"n=3f+1={n + 1}",
                 [make_scenario("theorem29", f=args.f, extra_correct=True)],
                 expect_violation=False,
+                reduction=reduction,
+                symmetry=theorem29_symmetry(f=args.f, extra_correct=True),
             )
             clean_control = not control_found
         print()
@@ -465,7 +491,12 @@ def _explore_main(argv: Sequence[str]) -> int:
             f"== swarm over {len(scenarios)} {args.kind} register scenario(s), "
             f"n={args.n} =="
         )
-        found = run_phase(f"{args.kind} n={args.n}", scenarios, expect_violation=False)
+        found = run_phase(
+            f"{args.kind} n={args.n}",
+            scenarios,
+            expect_violation=False,
+            reduction=args.reduction or "sleep",
+        )
         print()
         print(
             render_table(headers, rows, title="Schedule exploration — register workloads")
@@ -488,7 +519,13 @@ def _explore_main(argv: Sequence[str]) -> int:
     expectation = "violation expected" if record.expect_violation else "must be clean"
     print(f"== registry record {record.label()} ({expectation}) ==")
     found = run_phase(
-        record.label(), [record.spec], expect_violation=record.expect_violation
+        record.label(),
+        [record.spec],
+        expect_violation=record.expect_violation,
+        # An explicit --reduction wins; otherwise the record's pin (the
+        # deferred broadcast systematic cells require a dpor mode).
+        reduction=args.reduction or record.reduction,
+        symmetry=record.symmetry,
     )
     print()
     print(

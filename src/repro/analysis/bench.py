@@ -16,6 +16,10 @@ The matrix is deliberately the hot-path inventory of the repository:
   ``System.fingerprint()`` after every step: the explorer's inner loop.
 * ``explore.dfs.3f`` / ``explore.dfs.3f1`` — the E13 systematic-search
   workloads (violating and clean Theorem 29 scenarios).
+* ``explore.dpor.3f1.certify`` — the clean ``n = 3f + 1`` cell drained
+  to exhaustion under ``reduction="dpor+symmetry"`` *and* the sleep
+  baseline; records dpor throughput plus the deterministic run/state
+  reduction ratios (the ISSUE 10 >= 5x certification trajectory).
 * ``fuzz.single`` — the swarm fuzzer, one shard (the campaign-cell
   shape).
 * ``spec.linearize`` / ``spec.byzantine_complete`` — the oracle layer's
@@ -154,6 +158,66 @@ def _bench_explore(
     return {
         "runs_per_s": report.runs_per_sec,
         "states_per_s": report.states_per_sec,
+    }
+
+
+def _bench_explore_dpor(smoke: bool) -> Dict[str, float]:
+    """The dpor certification cell: clean ``n = 3f + 1``, drained twice.
+
+    Runs the Theorem 29 control scenario to *exhaustion* under
+    ``dpor+symmetry`` and under the sleep baseline, and records the
+    dpor throughput plus the run/state reduction ratios. The ratios are
+    schedule counts, not rates — deterministic on every host — and they
+    are the committed trajectory evidence for the ISSUE 10 acceptance
+    bar (>= 5x fewer explored states at f=2, identical verdict). Smoke
+    uses f=1 (same shape, ~1.7x — one symmetric pair short of folding);
+    the full matrix pins f=2, where the q2 pair folds.
+    """
+    from repro.explore import explore, make_scenario, theorem29_symmetry
+
+    f = 1 if smoke else 2
+    scenario = make_scenario("theorem29", f=f, extra_correct=True)
+    symmetry = theorem29_symmetry(f=f, extra_correct=True)
+    dpor = explore(
+        scenario,
+        depth_bound=14,
+        preemption_bound=2,
+        budget=2_000 if smoke else 4_000,
+        prefix_sharing="replay",
+        reduction="dpor+symmetry",
+        symmetry=symmetry,
+    )
+    sleep = explore(
+        scenario,
+        depth_bound=14,
+        preemption_bound=2,
+        budget=4_000 if smoke else 16_000,
+        prefix_sharing="replay",
+        reduction="sleep",
+    )
+    if not (dpor.exhausted and sleep.exhausted):
+        raise RuntimeError(
+            "bench workload drifted: certification cell no longer "
+            f"exhausts (dpor {dpor.runs} runs exhausted={dpor.exhausted}, "
+            f"sleep {sleep.runs} runs exhausted={sleep.exhausted})"
+        )
+    if dpor.violations or sleep.violations:
+        raise RuntimeError(
+            "bench workload drifted: clean control cell found violations"
+        )
+    floor = 1.5 if smoke else 5.0
+    ratio_runs = sleep.runs / dpor.runs
+    ratio_states = sleep.states / dpor.states
+    if min(ratio_runs, ratio_states) < floor:
+        raise RuntimeError(
+            "dpor reduction regressed below the certification floor "
+            f"({floor}x): runs {ratio_runs:.2f}x, states {ratio_states:.2f}x"
+        )
+    return {
+        "runs_per_s": dpor.runs_per_sec,
+        "states_per_s": dpor.states_per_sec,
+        "reduction_ratio_runs": ratio_runs,
+        "reduction_ratio_states": ratio_states,
     }
 
 
@@ -549,6 +613,7 @@ def _matrix(smoke: bool) -> List[Tuple[str, Any]]:
         ("kernel.fingerprint", lambda: _bench_kernel_fingerprint(smoke)),
         ("explore.dfs.3f", lambda: _bench_explore(smoke, extra_correct=False)),
         ("explore.dfs.3f1", lambda: _bench_explore(smoke, extra_correct=True)),
+        ("explore.dpor.3f1.certify", lambda: _bench_explore_dpor(smoke)),
         ("fuzz.single", lambda: _bench_fuzz(smoke)),
         ("spec.linearize", lambda: _bench_spec_linearize(smoke)),
         ("spec.byzantine_complete", lambda: _bench_spec_byzantine(smoke)),

@@ -100,6 +100,11 @@ class CampaignCell:
     seed0: int = 0
     depth_bound: int = 14
     preemption_bound: int = 2
+    #: Systematic-engine reduction mode (see ``repro.explore.explore``);
+    #: swarm cells ignore both. ``symmetry`` holds the scenario's
+    #: interchangeable-process groups for ``"dpor+symmetry"``.
+    reduction: str = "sleep"
+    symmetry: Tuple[Tuple[int, ...], ...] = ()
 
     def label(self) -> str:
         """Compact cell identity for progress lines and tables."""
@@ -275,6 +280,8 @@ def default_matrix(
                 budget=swarm if record.engine == "swarm" else systematic,
                 expect_violation=record.expect_violation,
                 seed0=seed0,
+                reduction=record.reduction,
+                symmetry=record.symmetry,
             )
         )
     return cells
@@ -315,6 +322,8 @@ def run_cell(cell: CampaignCell) -> CellOutcome:
             # so cells always use the replay engine.
             prefix_sharing="replay",
             early_exit=early_exit,
+            reduction=cell.reduction,
+            symmetry=cell.symmetry,
         )
         return CellOutcome(
             cell=cell,

@@ -9,7 +9,11 @@ schedules; ``repro.explore`` actually searches that space:
   randomized register workloads;
 * :mod:`repro.explore.explorer` — bounded systematic exploration
   (DFS/BFS over decision traces with preemption bounds, state
-  fingerprint memoization and sleep-set-style commutation pruning);
+  fingerprint memoization, and a choice of ``reduction``: sleep-set
+  commutation pruning, source-set dynamic partial-order reduction, or
+  DPOR plus interchangeable-process symmetry folding);
+* :mod:`repro.explore.dpor` — the race scan and symmetry folder behind
+  the dpor reductions (happens-before from executed effect traces);
 * :mod:`repro.explore.fuzzer` — multiprocessing swarm campaigns of
   seeded random/priority schedules with violation deduplication;
 * :mod:`repro.explore.shrink` — counterexample minimization down to a
@@ -28,6 +32,7 @@ Quickstart (see ``examples/explore_quickstart.py``)::
 The CLI front end is ``python -m repro.analysis explore``.
 """
 
+from repro.explore.dpor import SymmetryFolder, analyze_run
 from repro.explore.explorer import (
     ExploreReport,
     RunRecord,
@@ -53,6 +58,7 @@ from repro.explore.scenarios import (
     Violation,
     adversary_grid,
     make_scenario,
+    theorem29_symmetry,
 )
 from repro.explore.shrink import ShrunkViolation, shrink
 
@@ -67,8 +73,10 @@ __all__ = [
     "ShardResult",
     "ShrunkViolation",
     "SwarmScheduler",
+    "SymmetryFolder",
     "Violation",
     "adversary_grid",
+    "analyze_run",
     "commutes",
     "default_shards",
     "effect_signature",
@@ -79,4 +87,5 @@ __all__ = [
     "make_scenario",
     "run_one_fuzz",
     "shrink",
+    "theorem29_symmetry",
 ]

@@ -15,24 +15,55 @@ search is bounded three ways:
   observation that real schedule bugs need very few preemptions;
 * **budget** — a hard cap on executed runs.
 
-Two prunings cut the remaining tree:
+``reduction`` selects how the remaining tree is cut:
 
-* **fingerprint memoization** — :meth:`repro.sim.System.fingerprint`
-  hashes the forward-relevant state after every prefix step; a node
-  whose state was already expanded at the same or shallower depth is
-  not expanded again (commuting interleavings reconverge here);
-* **sleep-set-style commutation pruning** — a sibling whose next effect
+* ``"sleep"`` (the default, and the differential baseline) expands every runnable
+  sibling at every depth, pruned two ways: **fingerprint
+  memoization** — :meth:`repro.sim.System.fingerprint` hashes the
+  forward-relevant state after every prefix step; a node whose state
+  was already expanded at the same or shallower depth is not expanded
+  again (commuting interleavings reconverge here) — and
+  **sleep-set-style commutation pruning** — a sibling whose next effect
   commutes with every already-explored sibling's next effect at that
   node is skipped: swapping adjacent commuting steps cannot produce a
   new state, so some explored ordering covers it. A coroutine's next
   effect at a node is read off the base run (it is invariant until the
   coroutine steps), so no extra executions are needed.
+* ``"dpor"`` inverts the expansion: no sibling is scheduled until a
+  reason exists. Each executed run is scanned for *races* — pairs of
+  conflicting steps by different coroutines, adjacent in the
+  happens-before order :mod:`repro.explore.dpor` computes from the
+  recorded effect signatures — and each race adds exactly one
+  source-set backtrack candidate at the last node before the race,
+  instead of expanding every runnable sibling. The fingerprint memo
+  composes: a memo-pruned node is neither expanded nor race-scanned
+  (the covering node's suffix was), which is what keeps the backtrack
+  frontier from re-deriving the interleavings the memo already
+  collapsed. Two conservative escapes keep the bounded search honest:
+  a backtrack whose deviation would bust the preemption budget is
+  re-anchored at the latest budget-feasible ancestor (the bounded-POR
+  conservative point — without it, race-driven deviations are all
+  preemption-expensive while the baseline reaches the same classes by
+  switching early and running one coroutine for free), and a backtrack
+  for a coroutine blocked at its node falls back to requesting every
+  enabled sibling there (guards can depend on state the race scan
+  cannot see).
+* ``"dpor+symmetry"`` additionally folds backtrack
+  candidates drawn from a scenario-declared interchangeable-process
+  group onto one canonical representative while both processes are
+  still untouched by the prefix
+  (:class:`repro.explore.dpor.SymmetryFolder`) — the explorer-side
+  version of the oracle's interchangeable-client reduction.
 
-Both prunings are heuristic in the strict sense (the fingerprint
-abstracts non-primitive locals; sleep sets assume ``Pause`` guards
-depend only on operation completion), so the report keeps separate
-counters for each and ``exhausted`` only claims the *bounded, pruned*
-tree was drained.
+Depth, preemption and budget bounds apply identically in every mode.
+All reductions are heuristic in the strict sense (the fingerprint
+abstracts non-primitive locals; the commutation algebra assumes
+``Pause`` guards depend only on operation completion; symmetry trusts
+the scenario's declaration), so the report keeps separate counters for
+each and ``exhausted`` only claims the *bounded, reduced* tree was
+drained. ``tests/test_dpor_differential.py`` pins that all three modes
+reach identical verdicts and violation classes across the scenario
+families.
 """
 
 from __future__ import annotations
@@ -46,19 +77,34 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import SchedulerError, StepLimitExceeded
-from repro.sim.effects import Pause, ReadRegister, WriteRegister
+from repro.sim.effects import (
+    Broadcast,
+    Pause,
+    ReadRegister,
+    ReceiveAll,
+    Send,
+    WriteRegister,
+)
 from repro.sim.scheduler import CoroutineId, RoundRobinScheduler, TraceScheduler
 from repro.spec.context import CheckContext
+from repro.explore.dpor import NEVER, SymmetryFolder, analyze_run
 from repro.explore.forkexec import MISS, SKIPPED, BranchExecutor, fork_available
 from repro.explore.scenarios import Scenario, Violation
 
 #: Effect signature: ("read", reg) / ("write", reg) / ("pause",) /
-#: ("sync",) for anything that touches history, mailboxes or retires a
-#: coroutine. Signatures drive the commutation test below.
+#: ("send", dest_pid) / ("recv", own_pid) / ("bcast",) / ("sync",) for
+#: anything that touches history or retires a coroutine. Signatures
+#: drive the commutation test below.
 EffectSignature = Tuple[str, ...]
 
 _PAUSE_SIG: EffectSignature = ("pause",)
 _SYNC_SIG: EffectSignature = ("sync",)
+_BCAST_SIG: EffectSignature = ("bcast",)
+
+#: Valid ``reduction`` arguments, in increasing aggressiveness. The
+#: scenario registry mirrors this tuple (it cannot import the explorer);
+#: the differential test asserts the two never drift.
+REDUCTIONS: Tuple[str, ...] = ("sleep", "dpor", "dpor+symmetry")
 
 #: Effect-type -> signature kind, filled lazily per concrete type (the
 #: per-step isinstance chain showed up in profiles; subclasses resolve
@@ -67,6 +113,9 @@ _SIG_KINDS: Dict[type, str] = {
     ReadRegister: "read",
     WriteRegister: "write",
     Pause: "pause",
+    Send: "send",
+    Broadcast: "bcast",
+    ReceiveAll: "recv",
 }
 
 
@@ -80,8 +129,21 @@ def _resolve_sig_kind(effect_type: type) -> str:
     return "sync"
 
 
-def effect_signature(effect: object) -> EffectSignature:
-    """Classify one executed effect for the commutation test."""
+def effect_signature(
+    effect: object,
+    pid: Optional[int] = None,
+    networked: bool = False,
+) -> EffectSignature:
+    """Classify one executed effect for the commutation test.
+
+    Message effects are keyed by the mailbox they touch: ``Send`` by its
+    destination, ``ReceiveAll`` by the stepping process's own ``pid``
+    (it drains its own mailbox — pass it, or the effect degrades to
+    ``sync``). ``networked`` must be True when the system routes
+    messages through an installed network model: delivery then consumes
+    the network's RNG in submission order, so reordering two sends is
+    observable and the signatures conservatively stay ``sync``.
+    """
     kind = _SIG_KINDS.get(type(effect))
     if kind is None:
         kind = _resolve_sig_kind(type(effect))
@@ -91,6 +153,14 @@ def effect_signature(effect: object) -> EffectSignature:
         return ("write", effect.register)
     if kind == "pause":
         return _PAUSE_SIG
+    if networked:
+        return _SYNC_SIG
+    if kind == "send":
+        return ("send", effect.to)
+    if kind == "bcast":
+        return _BCAST_SIG
+    if kind == "recv":
+        return ("recv", pid) if pid is not None else _SYNC_SIG
     return _SYNC_SIG
 
 
@@ -99,17 +169,30 @@ def commutes(a: EffectSignature, b: EffectSignature) -> bool:
 
     Reads commute with reads; register accesses commute unless they
     race on the same register with a write involved; ``Pause`` commutes
-    with any register access (a pause only re-evaluates its guard,
-    which in this codebase watches operation completion, not register
-    contents). Anything classified ``sync`` — Invoke/Respond (they flip
-    client ``done`` flags that pause-guards watch), message effects,
-    and coroutine retirement — conservatively commutes with nothing.
+    with any register access or message effect (a pause only
+    re-evaluates its guard, which in this codebase watches operation
+    completion, not register or mailbox contents). Message effects
+    commute with each other unless they touch the same mailbox — a
+    broadcast touches every mailbox — and always commute with register
+    accesses (mailboxes and registers are disjoint state). Anything
+    classified ``sync`` — Invoke/Respond (they flip client ``done``
+    flags that pause-guards watch), networked message submission, and
+    coroutine retirement — conservatively commutes with nothing.
     """
-    if a[0] == "sync" or b[0] == "sync":
+    ka, kb = a[0], b[0]
+    if ka == "sync" or kb == "sync":
         return False
-    if a[0] == "pause" or b[0] == "pause":
+    if ka == "pause" or kb == "pause":
         return True
-    if a[0] == "read" and b[0] == "read":
+    a_msg = ka in ("send", "recv", "bcast")
+    b_msg = kb in ("send", "recv", "bcast")
+    if a_msg != b_msg:
+        return True  # one mailbox op, one register op: disjoint state
+    if a_msg:
+        if ka == "bcast" or kb == "bcast":
+            return False  # a broadcast touches every mailbox
+        return a[1] != b[1]
+    if ka == "read" and kb == "read":
         return True
     return a[1] != b[1]
 
@@ -146,6 +229,16 @@ class ExploreReport:
     pruned_fingerprint: int = 0
     pruned_sleep: int = 0
     pruned_preemption: int = 0
+    #: Reduction mode: "sleep", "dpor" or "dpor+symmetry".
+    reduction: str = "sleep"
+    #: Siblings never scheduled because no race demanded them (dpor
+    #: modes: runnable siblings at opened nodes minus executed
+    #: backtracks).
+    pruned_dpor: int = 0
+    #: Backtrack candidates folded onto a symmetric representative.
+    pruned_symmetry: int = 0
+    #: Happens-before-adjacent conflicting pairs found in executed runs.
+    races_detected: int = 0
     exhausted: bool = False
     elapsed: float = 0.0
     violations: List[Violation] = field(default_factory=list)
@@ -182,14 +275,26 @@ class ExploreReport:
             if self.engine == "fork"
             else ""
         )
+        if self.reduction == "sleep":
+            pruning = (
+                f"pruned {self.pruned_fingerprint} by fingerprint / "
+                f"{self.pruned_sleep} by sleep sets / "
+                f"{self.pruned_preemption} by preemption bound"
+            )
+        else:
+            pruning = (
+                f"{self.races_detected} races detected, pruned "
+                f"{self.pruned_dpor} by dpor / {self.pruned_symmetry} "
+                f"by symmetry / {self.pruned_preemption} by preemption bound"
+            )
         return (
             f"{self.scenario}: {verdict} in {self.runs} runs "
-            f"({self.mode}/{self.engine}, depth<={self.depth_bound}, "
+            f"({self.mode}/{self.engine}/{self.reduction}, "
+            f"depth<={self.depth_bound}, "
             f"preemptions<={self.preemption_bound}; {tree}); "
             f"{self.runs_per_sec:.0f} runs/s, {self.states_per_sec:.0f} states/s, "
-            f"{self.unique_states} unique states, pruned "
-            f"{self.pruned_fingerprint} by fingerprint / {self.pruned_sleep} "
-            f"by sleep sets / {self.pruned_preemption} by preemption bound"
+            f"{self.unique_states} unique states, "
+            + pruning
             + sharing
         )
 
@@ -202,6 +307,7 @@ def execute_trace(
     schedule_label: str = "",
     ctx: Optional[CheckContext] = None,
     early_exit: bool = False,
+    record_full: bool = False,
 ) -> RunRecord:
     """Replay ``prefix`` against a fresh build of ``scenario``.
 
@@ -210,11 +316,13 @@ def execute_trace(
     signatures and (optionally) state fingerprints for the search loop.
     Raises :class:`SchedulerError` when the prefix is not realizable.
     ``ctx`` shares oracle caches across replays; ``early_exit`` arms the
-    scenario's incremental violation monitor.
+    scenario's incremental violation monitor. ``record_full`` keeps the
+    per-step recorder attached for the whole run instead of closing the
+    window past the horizon (the dpor race scan needs the full trace).
     """
     return InstrumentedRun(
         scenario, prefix, depth_bound, fingerprints, schedule_label,
-        ctx=ctx, early_exit=early_exit,
+        ctx=ctx, early_exit=early_exit, record_full=record_full,
     ).finish()
 
 
@@ -251,11 +359,13 @@ class InstrumentedRun:
         schedule_label: str = "",
         ctx: Optional[CheckContext] = None,
         early_exit: bool = False,
+        record_full: bool = False,
     ):
         self.scenario = scenario
         self.depth_bound = depth_bound
         self.fingerprints = fingerprints
         self.schedule_label = schedule_label
+        self.record_full = record_full
         self.scheduler = TraceScheduler(
             prefix=prefix, fallback=RoundRobinScheduler(), horizon=depth_bound
         )
@@ -263,6 +373,10 @@ class InstrumentedRun:
             self.scheduler, ctx=ctx, early_exit=early_exit
         )
         self.system = self.built.system
+        #: Networked systems route Send/Broadcast through the network
+        #: model's RNG, so message signatures degrade to "sync" (see
+        #: effect_signature).
+        self._networked = self.system.network is not None
         self.signatures: List[EffectSignature] = []
         self.chosen: List[CoroutineId] = []
         self.prints: List[int] = []
@@ -288,6 +402,14 @@ class InstrumentedRun:
                 sig = ("read", effect.register)
             elif kind == "write":
                 sig = ("write", effect.register)
+            elif self._networked:
+                sig = _SYNC_SIG
+            elif kind == "send":
+                sig = ("send", effect.to)
+            elif kind == "bcast":
+                sig = _BCAST_SIG
+            elif kind == "recv":
+                sig = ("recv", cid[0])
             else:
                 sig = _SYNC_SIG
         signatures = self.signatures
@@ -295,7 +417,7 @@ class InstrumentedRun:
         self.chosen.append(cid)
         if self.fingerprints and len(self.prints) < self.depth_bound:
             self.prints.append(self.system.fingerprint())
-        if len(signatures) > self._window:
+        if not self.record_full and len(signatures) > self._window:
             pending = self._pending
             if pending is None:
                 pending = set()
@@ -413,6 +535,70 @@ def _next_effect_at(
     return None
 
 
+class _DporNode:
+    """Backtrack bookkeeping for one node of the dpor search tree.
+
+    Everything here is a function of the node's decision prefix (the
+    fallback is deterministic), so whichever run opens the node first
+    can fill it in for every later run passing through.
+    """
+
+    __slots__ = (
+        "runnable", "done", "base_preemptions", "previous", "live", "sleep",
+    )
+
+    def __init__(
+        self,
+        runnable: Tuple[CoroutineId, ...],
+        base_preemptions: int,
+        previous: Optional[CoroutineId],
+        live: frozenset,
+        sleep: frozenset,
+    ):
+        self.runnable = runnable
+        #: Runnable indices already executed or pruned at this node.
+        self.done: Set[int] = set()
+        self.base_preemptions = base_preemptions
+        self.previous = previous
+        #: Grouped pids still untouched by the prefix (symmetry mode).
+        self.live = live
+        #: Inherited sleep set (source-set DPOR): coroutines whose
+        #: scheduling here is covered by an already-explored sibling
+        #: subtree of an ancestor — backtrack requests for them are
+        #: redundant. A sleeper wakes (drops out) on the first step it
+        #: does not commute with.
+        self.sleep = sleep
+
+
+_NO_LIVE: frozenset = frozenset()
+
+
+def _symmetry_folder(
+    scenario: Scenario,
+    symmetry: Sequence[Sequence[int]],
+    ctx: Optional[CheckContext],
+) -> Optional[SymmetryFolder]:
+    """Build the folder for ``reduction="dpor+symmetry"``.
+
+    Probe-builds the scenario once to read the register->owner map off
+    the installed specs (folding attributes register accesses to group
+    members through ownership). Returns None when no declared group has
+    two members — folding then never fires.
+    """
+    if not symmetry:
+        return None
+    probe = InstrumentedRun(scenario, (), 0, ctx=ctx)
+    try:
+        registers = probe.system.registers
+        owners = {
+            name: registers.spec(name).writer for name in registers.names()
+        }
+    finally:
+        probe.dispose()
+    folder = SymmetryFolder(symmetry, owners)
+    return folder if folder else None
+
+
 def _resolve_prefix_sharing(prefix_sharing: str) -> bool:
     """Whether to use the fork branch executor for this exploration."""
     if prefix_sharing not in ("auto", "fork", "replay"):
@@ -429,11 +615,14 @@ def _resolve_prefix_sharing(prefix_sharing: str) -> bool:
     # auto: fork pays off only when forked siblings can overlap on
     # spare cores AND the per-sibling fork + pickle + pipe tax is
     # amortized. Measured on the shipped Theorem 29 workloads (depth
-    # bound 14, 1-core host, 2026-07): replay ~1.2ms/run, fork
-    # ~4.4ms/run — a ~3.2ms fixed fork tax against ~8 shared prefix
-    # steps per run, so fork needs roughly (tax / run cost) + 1 ≈ 4
-    # hardware threads of sibling overlap before it can break even.
-    # The old >= 2 threshold predated the faster replay path.
+    # bound 14, 1-core host, 2026-08, after the singleton-group
+    # fallback stopped forking one-child groups): replay ~1.3ms/run,
+    # fork ~2.9ms/run — a ~1.6ms fixed fork tax, so the break-even
+    # model (tax / run cost) + 1 now lands near 2–3 hardware threads
+    # of sibling overlap. The threshold stays at >= 4 until a
+    # multi-core `explore.dfs.3f.fork` bench point confirms the
+    # serial-host arithmetic; the old >= 2 threshold predated the
+    # faster replay path.
     return fork_available() and (os.cpu_count() or 1) >= 4
 
 
@@ -449,11 +638,24 @@ def explore(
     prefix_sharing: str = "auto",
     ctx: Optional[CheckContext] = None,
     early_exit: bool = False,
+    reduction: str = "sleep",
+    symmetry: Sequence[Sequence[int]] = (),
 ) -> ExploreReport:
     """Systematically search bounded schedules of ``scenario``.
 
     Returns an :class:`ExploreReport`; ``report.violations`` holds one
     representative :class:`Violation` per deduplicated violation class.
+
+    ``reduction`` picks the pruning strategy (see the module docstring):
+    ``"sleep"`` expands every runnable sibling under fingerprint memo +
+    sleep sets; ``"dpor"`` schedules only race-driven source-set
+    backtracks; ``"dpor+symmetry"`` additionally folds backtracks over
+    the interchangeable process groups in ``symmetry`` (pid sequences,
+    e.g. a :class:`repro.scenarios.ScenarioRecord.symmetry`
+    declaration — ignored in the other modes). All modes reach
+    identical verdicts and violation classes on the shipped scenarios
+    (pinned by ``tests/test_dpor_differential.py``); the dpor modes
+    reach them in several-fold fewer runs.
 
     ``prefix_sharing`` selects the node executor: ``"fork"`` shares each
     sibling group's prefix through the POSIX fork branch executor
@@ -474,8 +676,19 @@ def explore(
     """
     if mode not in ("dfs", "bfs"):
         raise ValueError(f"mode must be 'dfs' or 'bfs', got {mode!r}")
+    if reduction not in REDUCTIONS:
+        raise ValueError(
+            f"reduction must be one of {', '.join(map(repr, REDUCTIONS))}, "
+            f"got {reduction!r}"
+        )
     if ctx is None:
         ctx = CheckContext()
+    use_dpor = reduction != "sleep"
+    folder = (
+        _symmetry_folder(scenario, symmetry, ctx)
+        if reduction == "dpor+symmetry"
+        else None
+    )
     use_fork = _resolve_prefix_sharing(prefix_sharing)
     report = ExploreReport(
         scenario=scenario.label(),
@@ -484,16 +697,19 @@ def explore(
         preemption_bound=preemption_bound,
         budget=budget,
         engine="fork" if use_fork else "replay",
+        reduction=reduction,
     )
     started = time.perf_counter()
     frontier: Deque[Tuple[int, ...]] = deque([()])
     seen_states: Dict[int, int] = {}
     seen_violations: Set[str] = set()
+    #: dpor modes: decision prefix -> backtrack bookkeeping.
+    nodes: Dict[Tuple[int, ...], _DporNode] = {}
     label = f"explore({mode})"
     executor = (
         BranchExecutor(
             scenario, depth_bound, schedule_label=label, fingerprints=memoize,
-            ctx=ctx, early_exit=early_exit,
+            ctx=ctx, early_exit=early_exit, record_full=use_dpor,
         )
         if use_fork
         else None
@@ -522,6 +738,7 @@ def explore(
                             schedule_label=label,
                             ctx=ctx,
                             early_exit=early_exit,
+                            record_full=use_dpor,
                         )
                         report.replayed_steps += len(prefix)
                     except SchedulerError:
@@ -562,6 +779,224 @@ def explore(
                     for depth, state in enumerate(record.fingerprints, start=1):
                         seen_states.setdefault(state, depth)
                     report.unique_states = len(seen_states)
+
+                if use_dpor:
+                    # Race-driven expansion, composed with the memo
+                    # prune above: open a node for every depth of this
+                    # run's path, then schedule only the source-set
+                    # backtracks the race scan demands (instead of every
+                    # runnable sibling, which is what the "sleep" branch
+                    # below does).
+                    horizon = min(
+                        depth_bound,
+                        len(record.trace),
+                        len(record.runnables),
+                        len(record.effects),
+                    )
+                    touches = (
+                        folder.first_touches(
+                            record.chosen, record.effects, horizon
+                        )
+                        if folder is not None
+                        else None
+                    )
+                    for depth in range(len(prefix), horizon):
+                        node_key = record.trace[:depth]
+                        node = nodes.get(node_key)
+                        if node is None:
+                            runnable = record.runnables[depth]
+                            live = (
+                                frozenset(
+                                    p
+                                    for p in folder.group_of
+                                    if touches.get(p, NEVER) >= depth
+                                )
+                                if folder is not None
+                                else _NO_LIVE
+                            )
+                            # Inherit the parent's sleep set plus its
+                            # other explored siblings, then wake every
+                            # sleeper the step into this node does not
+                            # commute with (a sleeper's own next effect
+                            # is unchanged until it is scheduled, so it
+                            # is read off this run).
+                            sleep: frozenset = _NO_LIVE
+                            parent = (
+                                nodes.get(node_key[:-1]) if depth else None
+                            )
+                            if parent is not None:
+                                executed = record.effects[depth - 1]
+                                prev_index = record.trace[depth - 1]
+                                sleepers = set(parent.sleep)
+                                for i in parent.done:
+                                    if i != prev_index and i < len(
+                                        parent.runnable
+                                    ):
+                                        sleepers.add(parent.runnable[i])
+                                if sleepers:
+                                    stepping = record.chosen[depth - 1]
+                                    sleepers.discard(stepping)
+                                    sleep = frozenset(
+                                        q
+                                        for q in sleepers
+                                        if (
+                                            pending := _next_effect_at(
+                                                record, depth - 1, q
+                                            )
+                                        )
+                                        is not None
+                                        and commutes(pending, executed)
+                                    )
+                            node = _DporNode(
+                                runnable=runnable,
+                                base_preemptions=(
+                                    record.cumulative_preemptions[depth]
+                                ),
+                                previous=(
+                                    record.chosen[depth - 1]
+                                    if depth > 0
+                                    else None
+                                ),
+                                live=live,
+                                sleep=sleep,
+                            )
+                            nodes[node_key] = node
+                            report.pruned_dpor += len(runnable) - 1
+                        node.done.add(record.trace[depth])
+                    races, requests = analyze_run(
+                        record.chosen, record.effects, horizon
+                    )
+                    report.races_detected += races
+                    for depth, cid in requests:
+                        node_key = record.trace[:depth]
+                        node = nodes.get(node_key)
+                        if node is None:
+                            continue
+                        runnable = node.runnable
+                        if folder is not None:
+                            canonical = folder.canonical(
+                                cid, runnable, node.live
+                            )
+                            if canonical != cid:
+                                report.pruned_symmetry += 1
+                                cid = canonical
+                        if cid in node.sleep:
+                            # Covered by an already-explored sibling
+                            # subtree (source-set sleep inheritance).
+                            report.pruned_sleep += 1
+                            continue
+                        try:
+                            index = runnable.index(cid)
+                        except ValueError:
+                            # The racing coroutine is blocked at the
+                            # deviation point (its guard depends on
+                            # state the race scan cannot see), so the
+                            # source set degenerates: conservatively
+                            # request every enabled coroutine here, the
+                            # classic disabled-process fallback of
+                            # dynamic partial-order reduction.
+                            for index in range(len(runnable)):
+                                if index in node.done:
+                                    continue
+                                other = runnable[index]
+                                switch_cost = (
+                                    1
+                                    if node.previous is not None
+                                    and other != node.previous
+                                    and node.previous in runnable
+                                    else 0
+                                )
+                                if (
+                                    node.base_preemptions + switch_cost
+                                    > preemption_bound
+                                ):
+                                    report.pruned_preemption += 1
+                                    node.done.add(index)
+                                    continue
+                                node.done.add(index)
+                                report.pruned_dpor -= 1
+                                frontier.append(node_key + (index,))
+                                if executor is not None:
+                                    executor.register_group(
+                                        node_key, [index]
+                                    )
+                            continue
+                        if index in node.done:
+                            continue
+                        previous = node.previous
+                        switch_cost = (
+                            1
+                            if previous is not None
+                            and cid != previous
+                            and previous in runnable
+                            else 0
+                        )
+                        if (
+                            node.base_preemptions + switch_cost
+                            > preemption_bound
+                        ):
+                            report.pruned_preemption += 1
+                            node.done.add(index)
+                            # Bounded-search completeness patch (the
+                            # conservative points of bounded partial-
+                            # order reduction): a race-derived backtrack
+                            # that busts the preemption budget may still
+                            # be coverable by deviating earlier. The
+                            # latest budget-feasible ancestor always
+                            # includes the path's own last context
+                            # switch (deviating there costs exactly the
+                            # switch the path already paid), so anchor
+                            # the request there instead of silently
+                            # dropping the class.
+                            for back in range(depth - 1, -1, -1):
+                                anchor = nodes.get(record.trace[:back])
+                                if anchor is None:
+                                    continue
+                                prev = anchor.previous
+                                cost = (
+                                    1
+                                    if prev is not None
+                                    and cid != prev
+                                    and prev in anchor.runnable
+                                    else 0
+                                )
+                                if (
+                                    anchor.base_preemptions + cost
+                                    > preemption_bound
+                                ):
+                                    continue
+                                acid = cid
+                                if folder is not None:
+                                    canonical = folder.canonical(
+                                        acid, anchor.runnable, anchor.live
+                                    )
+                                    if canonical != acid:
+                                        report.pruned_symmetry += 1
+                                        acid = canonical
+                                if acid in anchor.sleep:
+                                    report.pruned_sleep += 1
+                                    break
+                                try:
+                                    aindex = anchor.runnable.index(acid)
+                                except ValueError:
+                                    continue
+                                if aindex not in anchor.done:
+                                    anchor.done.add(aindex)
+                                    report.pruned_dpor -= 1
+                                    anchor_key = record.trace[:back]
+                                    frontier.append(anchor_key + (aindex,))
+                                    if executor is not None:
+                                        executor.register_group(
+                                            anchor_key, [aindex]
+                                        )
+                                break
+                            continue
+                        node.done.add(index)
+                        report.pruned_dpor -= 1
+                        frontier.append(node_key + (index,))
+                        if executor is not None:
+                            executor.register_group(node_key, [index])
+                    continue
 
                 # Expand: deviate from this run at every depth past the
                 # forced prefix, up to the bounds. ``effects`` (same

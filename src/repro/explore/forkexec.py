@@ -85,11 +85,15 @@ class BranchExecutor:
         fingerprints: bool = True,
         ctx=None,
         early_exit: bool = False,
+        record_full: bool = False,
     ):
         self._scenario = scenario
         self._depth_bound = depth_bound
         self._schedule_label = schedule_label
         self._fingerprints = fingerprints
+        #: Keep children's per-step recorders attached for the whole run
+        #: (the dpor race scan reads the full trace).
+        self._record_full = record_full
         #: Oracle caches / early-exit flag forwarded to every run. The
         #: ctx lives in the parent; forked children mutate a copy-on-write
         #: snapshot that dies with them (correctness is unaffected, only
@@ -109,12 +113,21 @@ class BranchExecutor:
 
     # ------------------------------------------------------------------
     def register_group(self, parent_trace: Prefix, indices: Sequence[int]) -> None:
-        """Declare the siblings ``parent_trace + (i,)`` for later execution."""
+        """Declare the siblings ``parent_trace + (i,)`` for later execution.
+
+        Registration is incremental: the dpor search loop discovers one
+        backtrack at a time, so siblings registered before the group's
+        first fetch accumulate into one shared-prefix launch. Members
+        added after the launch simply miss and fall back to replay.
+        """
         if not indices:
             return
-        self._groups[parent_trace] = list(indices)
+        group = self._groups.setdefault(parent_trace, [])
         for index in indices:
-            self._member[parent_trace + (index,)] = parent_trace
+            child = parent_trace + (index,)
+            if child not in self._member:
+                group.append(index)
+                self._member[child] = parent_trace
 
     def fetch(self, prefix: Prefix):
         """The RunRecord for ``prefix``, or the MISS / SKIPPED sentinel.
@@ -137,6 +150,14 @@ class BranchExecutor:
         from repro.explore.explorer import InstrumentedRun
 
         indices = self._groups.pop(parent_trace)
+        if len(indices) == 1:
+            # A singleton group shares its prefix with nobody: forking
+            # would pay the in-process prefix materialization *plus* the
+            # fork/pickle/pipe tax with zero overlap — strictly worse
+            # than plain replay. Drop the membership so the search loop
+            # re-executes it.
+            self._member.pop(parent_trace + (indices[0],), None)
+            return
         run = None
         try:
             run = InstrumentedRun(
@@ -147,6 +168,7 @@ class BranchExecutor:
                 schedule_label=self._schedule_label,
                 ctx=self._ctx,
                 early_exit=self._early_exit,
+                record_full=self._record_full,
             )
             realizable = run.run_prefix_steps(len(parent_trace))
         except SchedulerError:

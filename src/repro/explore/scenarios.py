@@ -331,6 +331,27 @@ register_builder("theorem29", _build_theorem29)
 register_builder("register", _build_register)
 
 
+def theorem29_symmetry(
+    f: int = 1, extra_correct: bool = False
+) -> Tuple[Tuple[int, ...], ...]:
+    """Interchangeable process groups of the Theorem 29 cast.
+
+    The named cast members (setter, p_a, p_b) each run a distinct
+    script, but within each quorum-filler role — the q1 helpers, the q2
+    helper spawners, the q3 Byzantine erasers — the members differ only
+    by pid: same coroutine code, same owned registers up to renaming.
+    Those are exactly the groups ``explore(reduction="dpor+symmetry")``
+    may fold. At ``f = 1`` every group has at most one member, so this
+    returns ``()`` — symmetry only bites from ``f = 2`` up.
+    """
+    roles = Roles.for_f(f, extra_correct=extra_correct)
+    return tuple(
+        tuple(group)
+        for group in (roles.q1, roles.q2, roles.q3)
+        if len(group) >= 2
+    )
+
+
 def adversary_grid(
     kind: str = "verifiable",
     n: int = 4,

@@ -409,6 +409,43 @@ def _register_net() -> None:
         )
 
 
+def _register_broadcast_systematic() -> None:
+    """The deferred broadcast boundary pair under the systematic engine.
+
+    PR 7 brought the broadcast apps into the conformance matrix on the
+    swarm engine only: under the sleep-set baseline their bounded
+    schedule tree is too large to drain within any campaign budget
+    (the n=3 violating cell's tree alone holds >20k sleep-mode runs).
+    Source-set DPOR closes that gap — the same trees exhaust in a few
+    thousand race-driven runs — so these cells pin
+    ``reduction="dpor"`` and carry the same differential expectations
+    as their swarm twins: the equivocating sender forks two correct
+    receivers at ``n = 3f`` and is harmless at ``n = 3f + 1``.
+
+    Registered last: the matrix order is append-only.
+    """
+    for family in ("broadcast", "reliable_broadcast"):
+        for n, expect in ((4, False), (3, True)):
+            register(
+                ScenarioRecord(
+                    family=family,
+                    n=n,
+                    f=1,
+                    spec=make_scenario(
+                        family,
+                        n=n,
+                        f=1,
+                        seed=0,
+                        byzantine=((n, "equivocate"),),
+                    ),
+                    engine="systematic",
+                    expect_violation=expect,
+                    consumers=("campaign", "explore", "smoke"),
+                    reduction="dpor",
+                )
+            )
+
+
 _register_alg_families()
 _register_baseline_and_strawman()
 _register_test_or_set()
@@ -418,3 +455,4 @@ _register_freshness_boundary()
 _register_broadcast_families()
 _register_mp_emulation()
 _register_net()
+_register_broadcast_systematic()

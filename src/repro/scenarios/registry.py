@@ -53,6 +53,12 @@ from repro.errors import ConfigurationError
 #: through ``python -m repro.analysis net``, not through a scheduler.
 ENGINES = ("swarm", "systematic", "live")
 
+# Systematic-explorer reduction modes a record may pin. Mirrors
+# ``repro.explore.explorer.REDUCTIONS`` (this module is the dependency
+# root and cannot import the explorer; the differential test asserts
+# the two never drift).
+REDUCTIONS = ("sleep", "dpor", "dpor+symmetry")
+
 #: The consumer axes a record can opt into. ``smoke`` is the bounded CI
 #: subset of ``campaign``; ``explore``/``bench`` mark the records the
 #: exploration CLI and the perf matrix draw from; ``net`` marks the
@@ -198,6 +204,25 @@ class ScenarioRecord:
             proves for this cell.
         consumers: Which layers include the record (subset of
             :data:`CONSUMERS`).
+        symmetry: Interchangeable process groups — tuples of pids whose
+            initial coroutine/register/mailbox configurations map onto
+            each other under any permutation of the group. The
+            systematic explorer's ``reduction="dpor+symmetry"`` folds
+            backtracks over these groups
+            (:class:`repro.explore.dpor.SymmetryFolder`). Deliberately
+            *outside* the fingerprint basis: a symmetry declaration is
+            a search-strategy hint, not cell behaviour (all reduction
+            modes reach identical verdicts), and adding one must not
+            orphan stored cell fingerprints.
+        reduction: Which systematic-explorer reduction the record's
+            campaign cell runs under (``"sleep"``, ``"dpor"`` or
+            ``"dpor+symmetry"``; ignored by swarm cells). Like
+            ``symmetry``, a search-strategy hint outside the
+            fingerprint basis — cells registered before the dpor
+            reductions existed keep their identity. The deferred
+            broadcast systematic cells *require* a dpor mode: their
+            bounded tree is too large for the sleep baseline to drain
+            within a campaign budget.
     """
 
     family: str
@@ -207,6 +232,8 @@ class ScenarioRecord:
     engine: str = "swarm"
     expect_violation: bool = False
     consumers: Tuple[str, ...] = ("campaign",)
+    symmetry: Tuple[Tuple[int, ...], ...] = ()
+    reduction: str = "sleep"
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -217,6 +244,11 @@ class ScenarioRecord:
         if unknown:
             raise ConfigurationError(
                 f"unknown consumer(s) {unknown!r}; known: {', '.join(CONSUMERS)}"
+            )
+        if self.reduction not in REDUCTIONS:
+            raise ConfigurationError(
+                f"unknown reduction {self.reduction!r}; "
+                f"known: {', '.join(REDUCTIONS)}"
             )
         if self.n < 1 or self.f < 0:
             raise ConfigurationError(

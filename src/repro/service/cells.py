@@ -37,6 +37,8 @@ def cell_to_json(cell: CampaignCell) -> Dict[str, Any]:
         "seed0": cell.seed0,
         "depth_bound": cell.depth_bound,
         "preemption_bound": cell.preemption_bound,
+        "reduction": cell.reduction,
+        "symmetry": [list(group) for group in cell.symmetry],
     }
 
 
@@ -58,6 +60,13 @@ def cell_from_json(data: Dict[str, Any]) -> CampaignCell:
         seed0=int(data["seed0"]),
         depth_bound=int(data["depth_bound"]),
         preemption_bound=int(data["preemption_bound"]),
+        # Documents queued before the dpor reductions existed carry
+        # neither key; they were (and remain) sleep-baseline cells.
+        reduction=str(data.get("reduction", "sleep")),
+        symmetry=tuple(
+            tuple(int(pid) for pid in group)
+            for group in data.get("symmetry", ())
+        ),
     )
 
 
@@ -73,4 +82,9 @@ def cell_fingerprint(cell: CampaignCell) -> str:
         cell.depth_bound,
         cell.preemption_bound,
     )
+    # The reduction changes a cell's run counts and exhaustion note (not
+    # its verdict), so dpor cells get their own identity — appended
+    # conditionally so every pre-dpor cell keeps its stored digest.
+    if cell.reduction != "sleep":
+        basis = basis + (cell.reduction, cell.symmetry)
     return hashlib.blake2b(repr(basis).encode(), digest_size=8).hexdigest()
